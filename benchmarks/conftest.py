@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Benchmarks run each experiment once (``pedantic(rounds=1)``) at the
+``smoke`` scale: the goal is to regenerate every paper artefact's rows
+end-to-end and time the full pipeline, not to micro-profile training.
+Set ``REPRO_BENCH_PRESET=medium`` for paper-shaped numbers (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Preset used by the experiment benchmarks (override via environment).
+BENCH_PRESET = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+
+#: Seed shared by every benchmark.
+BENCH_SEED = 2018
+
+
+@pytest.fixture(scope="session")
+def bench_preset() -> str:
+    return BENCH_PRESET
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: Rendered tables/series from each bench land here (pytest's fd-level
+#: capture discards stdout of passing tests, but the whole point of the
+#: harness is to show the rows each paper artefact reports).
+REPORT_PATH = Path(__file__).with_name("last_run_report.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report():
+    REPORT_PATH.write_text(
+        f"# Rendered paper artefacts from the last benchmark run "
+        f"(preset={BENCH_PRESET}, seed={BENCH_SEED})\n"
+    )
+    yield
+
+
+def report(text: str) -> None:
+    """Record a rendered artefact (also printed for ``pytest -s`` runs)."""
+    with REPORT_PATH.open("a") as stream:
+        stream.write("\n" + text + "\n")
+    print("\n" + text)

@@ -1,0 +1,47 @@
+"""Benches: ablations of APOTS design choices (DESIGN.md section 6)."""
+
+import numpy as np
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_loss_ratio(benchmark, bench_preset):
+    result = run_once(
+        benchmark, ablations.loss_ratio_ablation, preset=bench_preset, seed=BENCH_SEED
+    )
+    report(result.render())
+    assert any("paper: alpha" in label for label in result.mape)
+
+
+def test_ablation_disc_input(benchmark, bench_preset):
+    result = run_once(
+        benchmark, ablations.discriminator_input_ablation, preset=bench_preset, seed=BENCH_SEED
+    )
+    report(result.render())
+    assert set(result.mape) == {"sequence (alpha)", "single speed"}
+
+
+def test_ablation_conditioning(benchmark, bench_preset):
+    result = run_once(
+        benchmark, ablations.conditioning_ablation, preset=bench_preset, seed=BENCH_SEED
+    )
+    report(result.render())
+    assert len(result.mape) == 2
+
+
+def test_ablation_adjacency(benchmark, bench_preset):
+    result = run_once(
+        benchmark, ablations.adjacency_ablation, preset=bench_preset, seed=BENCH_SEED
+    )
+    report(result.render())
+    assert "m=0" in result.mape and "m=2" in result.mape
+
+
+def test_ablation_horizon(benchmark, bench_preset):
+    result = run_once(
+        benchmark, ablations.horizon_ablation, preset=bench_preset, seed=BENCH_SEED
+    )
+    report(result.render())
+    values = list(result.mape.values())
+    assert all(np.isfinite(v) for v in values)

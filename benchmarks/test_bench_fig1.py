@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 1 (abrupt-change motivating cases)."""
+
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, bench_preset):
+    result = run_once(benchmark, fig1.run, preset=bench_preset, seed=BENCH_SEED)
+    report(result.render())
+    assert "morning_rush" in result.episodes
+    # The motivating point: rush-hour speed collapses by tens of km/h.
+    assert result.episodes["morning_rush"].drop > 20.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 4 (Q1 - effect of adversarial training)."""
+
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, bench_preset):
+    result = run_once(benchmark, fig4.run, preset=bench_preset, seed=BENCH_SEED)
+    report(result.render())
+    # Structure: every variant scored on every regime.
+    for kind in result.predictors:
+        assert set(result.mape[kind]) == {"whole", "normal", "abrupt_acc", "abrupt_dec"}
+        assert f"Adv {kind}" in result.mape

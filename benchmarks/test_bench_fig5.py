@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig 5 (Q2 - effect of additional data)."""
+
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, bench_preset):
+    result = run_once(benchmark, fig5.run, preset=bench_preset, seed=BENCH_SEED)
+    report(result.render())
+    assert set(result.mape) == set(fig5.CONFIGURATIONS)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 6 (case-study prediction traces)."""
+
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, bench_preset):
+    result = run_once(benchmark, fig6.run, preset=bench_preset, seed=BENCH_SEED)
+    report(result.render())
+    assert result.traces
+    for trace in result.traces.values():
+        assert trace.episode.speeds_kmh.shape == trace.predictions["APOTS_F"].shape

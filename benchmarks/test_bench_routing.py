@@ -1,0 +1,31 @@
+"""Bench: the route-guidance application layer end to end."""
+
+import numpy as np
+from conftest import BENCH_SEED, report, run_once
+
+from repro.data import FactorMask
+from repro.experiments.scenario import get_series, make_dataset, train_model
+from repro.routing import Detour, evaluate_advisories, predicted_speed_field
+from repro.routing.travel_time import traverse_time_minutes
+
+
+def test_route_guidance(benchmark, bench_preset):
+    def pipeline():
+        series = get_series(bench_preset, BENCH_SEED)
+        dataset = make_dataset(bench_preset, mask=FactorMask.both(), seed=BENCH_SEED)
+        model = train_model("F", dataset, bench_preset, adversarial=False, seed=BENCH_SEED)
+        field = predicted_speed_field(model, dataset)
+        free = traverse_time_minutes(
+            series.corridor, np.full_like(series.speeds, 100.0), 0, series.interval_minutes
+        )
+        detour = Detour(length_km=free * 1.35 / 60.0 * 55.0, speed_kmh=55.0)
+        departures = np.arange(0, series.num_steps - 48, 53)
+        forecast = evaluate_advisories(series, field, departures, detour)
+        oracle = evaluate_advisories(series, series.speeds, departures, detour, margin_minutes=0.0)
+        return forecast, oracle
+
+    forecast, oracle = run_once(benchmark, pipeline)
+    report(f"forecast: {forecast.render()}\noracle  : {oracle.render()}")
+    # The forecast-driven advisory must capture real savings (> 0) and
+    # cannot beat perfect information.
+    assert forecast.minutes_saved <= oracle.minutes_possible + 1e-9

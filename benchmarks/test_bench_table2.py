@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (non-speed factor ablation for APOTS_H)."""
+
+from conftest import BENCH_SEED, report, run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_preset):
+    result = run_once(benchmark, table2.run, preset=bench_preset, seed=BENCH_SEED)
+    report(result.render())
+    assert set(result.mape) == set(table2.CODES)

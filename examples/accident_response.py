@@ -1,0 +1,70 @@
+"""Accident response: does the event channel help recovery forecasting?
+
+The paper's non-speed data includes an accident/construction flag.  This
+example finds an accident on the target road, then compares APOTS_H
+trained with and without the Event factor (Table II's SE-vs-S contrast)
+on the recovery trace — the situation a route-guidance system cares
+about most.
+
+Run with::
+
+    python examples/accident_response.py [preset]
+"""
+
+import sys
+
+from repro.data import FactorMask
+from repro.experiments.fig1 import find_episode
+from repro.experiments.fig6 import predict_episode
+from repro.experiments.reporting import render_series
+from repro.experiments.scenario import get_series, make_dataset, train_model
+from repro.metrics import classify_regimes, mape
+
+
+def main(preset: str = "smoke") -> None:
+    seed = 2018
+    series = get_series(preset, seed)
+
+    episode = find_episode(series, "accident_recovery")
+    if episode is None:
+        raise SystemExit("no accident hit the target road in this simulation")
+    print(f"accident episode starting {episode.labels[0]} (drop {episode.drop:.0f} km/h)\n")
+
+    # S-T-W: everything except the event flag.
+    without_event = make_dataset(preset, mask=FactorMask.table2("SWT"), seed=seed)
+    # S-E-W-T: the full non-speed set.
+    with_event = make_dataset(preset, mask=FactorMask.table2("SEWT"), seed=seed)
+
+    model_without = train_model("H", without_event, preset, adversarial=True, seed=seed)
+    model_with = train_model("H", with_event, preset, adversarial=True, seed=seed)
+
+    traces = {
+        "no-event": predict_episode(model_without, without_event, episode),
+        "w/ event": predict_episode(model_with, with_event, episode),
+    }
+    print(
+        render_series(
+            episode.labels,
+            {"Real": episode.speeds_kmh, **traces},
+            title="Accident recovery: real vs predicted speed [km/h]",
+            stride=2,
+        )
+    )
+    for name, prediction in traces.items():
+        print(f"{name:9s} episode MAPE: {mape(prediction, episode.speeds_kmh):6.2f} %")
+
+    # Whole-test-set comparison on the abrupt regimes.
+    print("\nwhole test set (abrupt regimes):")
+    for name, model, dataset in (
+        ("no-event", model_without, without_event),
+        ("w/ event", model_with, with_event),
+    ):
+        report = model.evaluate(dataset)
+        print(
+            f"  {name:9s} MAPE whole {report.mape:6.2f} %  "
+            f"abrupt-dec {report.regime_mape('abrupt_dec'):6.2f} %"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "smoke")

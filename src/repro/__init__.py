@@ -1,0 +1,40 @@
+"""Reproduction of *APOTS: A Model for Adversarial Prediction of Traffic
+Speed* (Kim et al., ICDE 2022).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autograd / neural-network substrate on numpy.
+``repro.traffic``
+    Synthetic Gyeongbu-corridor traffic simulator (stands in for the
+    proprietary Hyundai dataset).
+``repro.data``
+    Sliding windows, features (Eq 3/5/6), scaling and splits.
+``repro.core``
+    The APOTS model: predictors F/L/C/H, discriminator, adversarial
+    training (Eq 1/2/4), and the :class:`repro.APOTS` facade.
+``repro.baselines``
+    Prophet-style additive model, naive and AR baselines.
+``repro.metrics``
+    MAE / RMSE / MAPE, abrupt-change regimes (Eq 7/8), gains (Eq 9).
+``repro.experiments``
+    Harness regenerating every table and figure of Section V.
+"""
+
+from .core import APOTS, EvaluationReport
+from .data import FactorMask, FeatureConfig, TrafficDataset
+from .traffic import SimulationConfig, TrafficSeries, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APOTS",
+    "EvaluationReport",
+    "FactorMask",
+    "FeatureConfig",
+    "TrafficDataset",
+    "SimulationConfig",
+    "TrafficSeries",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Autoregressive baselines (the ARIMA lineage of the related work).
+
+``ARPredictor`` fits an AR(p) model by ordinary least squares on the
+training windows' own histories and predicts each test target from its
+window — the classical statistical approach ([1] in the paper) that the
+deep models are meant to improve upon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import TrafficDataset
+
+__all__ = ["ARPredictor"]
+
+
+class ARPredictor:
+    """AR(p): s_t = c + sum_i phi_i * s_{t-i} + eps, fit by OLS.
+
+    Parameters
+    ----------
+    order:
+        Number of lags p; bounded by the window length alpha.
+    ridge:
+        Small L2 term for numerical stability.
+    """
+
+    def __init__(self, order: int = 6, ridge: float = 1e-6):
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        self.order = order
+        self.ridge = ridge
+        self._coefficients: np.ndarray | None = None
+
+    def _lag_matrix(self, dataset: TrafficDataset, indices: np.ndarray) -> np.ndarray:
+        """(N, order + 1) design: intercept + most recent ``order`` speeds."""
+        config = dataset.config
+        if self.order > config.alpha:
+            raise ValueError(f"order {self.order} exceeds window length alpha={config.alpha}")
+        images = dataset.features.images[indices]
+        target_row = config.m
+        window_kmh = dataset.kmh(images[:, target_row, :])  # (N, alpha)
+        lags = window_kmh[:, -self.order :][:, ::-1]  # most recent first
+        return np.column_stack([np.ones(len(indices)), lags])
+
+    def fit(self, dataset: TrafficDataset) -> "ARPredictor":
+        indices = dataset.subset("train")
+        design = self._lag_matrix(dataset, indices)
+        targets = dataset.features.targets_kmh[indices]
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._coefficients = np.linalg.solve(gram, design.T @ targets)
+        return self
+
+    def predict(self, dataset: TrafficDataset, subset: str = "test") -> np.ndarray:
+        if self._coefficients is None:
+            raise RuntimeError("predict() called before fit()")
+        indices = dataset.subset(subset)
+        return self._lag_matrix(dataset, indices) @ self._coefficients

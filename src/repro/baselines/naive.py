@@ -1,0 +1,70 @@
+"""Naive forecasting baselines.
+
+Not in the paper's tables, but indispensable sanity anchors for the
+benchmark harness: a learning model that cannot beat *last value* on
+normal samples, or *historical average* on calendar structure, has
+learned nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import TrafficDataset
+
+__all__ = ["LastValueBaseline", "HistoricalAverageBaseline"]
+
+
+class LastValueBaseline:
+    """Predict the last observed target-road speed (persistence)."""
+
+    def fit(self, dataset: TrafficDataset) -> "LastValueBaseline":
+        return self  # nothing to learn
+
+    def predict(self, dataset: TrafficDataset, subset: str = "test") -> np.ndarray:
+        indices = dataset.subset(subset)
+        return dataset.features.last_input_kmh[indices].copy()
+
+
+class HistoricalAverageBaseline:
+    """Predict the train-split mean speed for (day kind, time of day).
+
+    Day kind distinguishes working days from weekends/holidays; time of
+    day is the 5-minute slot index.  Slots unseen in training fall back
+    to the global mean.
+    """
+
+    def __init__(self):
+        self._table: dict[tuple[int, int], float] = {}
+        self._global_mean: float | None = None
+
+    @staticmethod
+    def _keys(dataset: TrafficDataset, indices: np.ndarray) -> np.ndarray:
+        """(N, 2) array of (day_kind, slot) keys per window target."""
+        series = dataset.series
+        steps = dataset.features.target_steps[indices]
+        steps_per_day = (24 * 60) // series.interval_minutes
+        slots = steps % steps_per_day
+        # day kind 1 = weekday (paper's weekday bit), 0 = weekend/holiday.
+        day_kinds = dataset.features.day_types[indices][:, 0].astype(int)
+        return np.column_stack([day_kinds, slots])
+
+    def fit(self, dataset: TrafficDataset) -> "HistoricalAverageBaseline":
+        indices = dataset.subset("train")
+        keys = self._keys(dataset, indices)
+        values = dataset.features.targets_kmh[indices]
+        self._global_mean = float(values.mean())
+        sums: dict[tuple[int, int], list[float]] = {}
+        for (kind, slot), value in zip(map(tuple, keys), values):
+            sums.setdefault((kind, slot), []).append(float(value))
+        self._table = {key: float(np.mean(vals)) for key, vals in sums.items()}
+        return self
+
+    def predict(self, dataset: TrafficDataset, subset: str = "test") -> np.ndarray:
+        if self._global_mean is None:
+            raise RuntimeError("predict() called before fit()")
+        indices = dataset.subset(subset)
+        keys = self._keys(dataset, indices)
+        return np.array(
+            [self._table.get(tuple(key), self._global_mean) for key in keys], dtype=np.float64
+        )

@@ -1,0 +1,43 @@
+"""``repro.core`` — the APOTS model: predictors, discriminator, training."""
+
+from .adversarial import AdversarialHistory, APOTSTrainer
+from .config import PRESETS, ModelSpec, ScalePreset, TrainSpec, table1_spec
+from .discriminator import Discriminator
+from .model import APOTS, EvaluationReport
+from .predictors import (
+    CNNPredictor,
+    FCPredictor,
+    HybridPredictor,
+    LSTMPredictor,
+    Predictor,
+    build_predictor,
+)
+from .trainer import SupervisedTrainer, TrainHistory
+from .tuning import GridSearchResult, expand_grid, grid_search
+from .zoo import load_model, save_model
+
+__all__ = [
+    "AdversarialHistory",
+    "APOTSTrainer",
+    "PRESETS",
+    "ModelSpec",
+    "ScalePreset",
+    "TrainSpec",
+    "table1_spec",
+    "Discriminator",
+    "APOTS",
+    "EvaluationReport",
+    "CNNPredictor",
+    "FCPredictor",
+    "HybridPredictor",
+    "LSTMPredictor",
+    "Predictor",
+    "build_predictor",
+    "SupervisedTrainer",
+    "TrainHistory",
+    "GridSearchResult",
+    "expand_grid",
+    "grid_search",
+    "load_model",
+    "save_model",
+]

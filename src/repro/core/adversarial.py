@@ -1,0 +1,191 @@
+"""Adversarial training of APOTS (Sections III and IV).
+
+Implements the minimax game of Eq 4:
+
+* **Predictor step** — minimise
+  ``J_P = w_mse * MSE(rolled predictions, real speeds)
+        + w_adv * adversarial(D(predicted sequence | E))``
+  where the predicted sequence for anchor window ``t`` is the alpha
+  consecutive one-step predictions ending at the anchor's target
+  (Section III-A's rollout), and the paper's footnote fixes the loss
+  ratio at alpha : 1 (``w_mse`` defaults to alpha).
+* **Discriminator step** — maximise
+  ``J_D = log D(real | E) + log(1 - D(fake | E))``,
+  trained as binary cross-entropy on logits.
+
+The paper's objective uses the saturating generator loss
+``log(1 - D(fake))``; by default we train the non-saturating variant
+``-log D(fake)`` (Goodfellow et al., 2014 recommend it for gradient
+signal) and expose ``saturating_adv_loss`` to flip back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import RolloutBatch, TrafficDataset, iterate_batches
+from .config import TrainSpec
+from .discriminator import Discriminator
+from .predictors import Predictor
+
+__all__ = ["AdversarialHistory", "APOTSTrainer"]
+
+
+@dataclass
+class AdversarialHistory:
+    """Per-epoch adversarial training diagnostics."""
+
+    predictor_loss: list[float] = field(default_factory=list)
+    mse_loss: list[float] = field(default_factory=list)
+    adversarial_loss: list[float] = field(default_factory=list)
+    discriminator_loss: list[float] = field(default_factory=list)
+    discriminator_real_prob: list[float] = field(default_factory=list)
+    discriminator_fake_prob: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.predictor_loss)
+
+
+class APOTSTrainer:
+    """Alternating P / D optimisation over rollout batches."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        discriminator: Discriminator,
+        spec: TrainSpec | None = None,
+    ):
+        self.predictor = predictor
+        self.discriminator = discriminator
+        self.spec = spec if spec is not None else TrainSpec()
+        self.p_optimizer = nn.Adam(predictor.parameters(), lr=self.spec.learning_rate)
+        self.d_optimizer = nn.Adam(discriminator.parameters(), lr=self.spec.learning_rate)
+        self.bce = nn.BCEWithLogitsLoss()
+        self.mse = nn.MSELoss()
+
+    # ------------------------------------------------------------------
+    def _predict_sequences(self, batch: RolloutBatch, alpha: int) -> tuple[nn.Tensor, nn.Tensor]:
+        """Roll P over each anchor's alpha windows.
+
+        Returns (per-window predictions (B*alpha,), sequences (B, alpha)).
+        """
+        predictions = self.predictor.predict_arrays(
+            batch.group_images, batch.group_day_types, batch.group_flat
+        )
+        sequences = predictions.reshape(batch.num_anchors, alpha)
+        return predictions, sequences
+
+    def _sequence_view(self, sequences: np.ndarray) -> np.ndarray:
+        """Slice sequences to what D inspects (last `sequence_length` steps).
+
+        The paper feeds the full alpha-long sequence; the single-speed
+        ablation (Section III-A's cautionary variant) uses length 1.
+        """
+        return sequences[:, -self.discriminator.sequence_length :]
+
+    def _discriminator_step(self, batch: RolloutBatch, alpha: int) -> tuple[float, float, float]:
+        """One D update; returns (loss, mean real prob, mean fake prob)."""
+        with nn.no_grad():
+            _, fake_sequences = self._predict_sequences(batch, alpha)
+        fake = nn.Tensor(self._sequence_view(fake_sequences.data))  # detached
+        real = nn.Tensor(self._sequence_view(batch.real_sequences(alpha)))
+        condition = nn.Tensor(batch.condition) if self.discriminator.conditional else None
+
+        real_logits = self.discriminator(real, condition)
+        fake_logits = self.discriminator(fake, condition)
+        ones = np.ones(batch.num_anchors)
+        zeros = np.zeros(batch.num_anchors)
+        loss = self.bce(real_logits, ones) + self.bce(fake_logits, zeros)
+
+        self.d_optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(self.discriminator.parameters(), self.spec.grad_clip)
+        self.d_optimizer.step()
+
+        with nn.no_grad():
+            real_prob = float(real_logits.sigmoid().data.mean())
+            fake_prob = float(fake_logits.sigmoid().data.mean())
+        return loss.item(), real_prob, fake_prob
+
+    def _predictor_step(self, batch: RolloutBatch, alpha: int) -> tuple[float, float, float]:
+        """One P update; returns (total, mse, adversarial) losses."""
+        predictions, sequences = self._predict_sequences(batch, alpha)
+        mse_loss = self.mse(predictions, batch.group_targets)
+
+        condition = nn.Tensor(batch.condition) if self.discriminator.conditional else None
+        length = self.discriminator.sequence_length
+        fake_logits = self.discriminator(sequences[:, alpha - length :], condition)
+        if self.spec.saturating_adv_loss:
+            # log(1 - D(fake)) minimised directly, as written in Eq 1.
+            adv_loss = (1.0 - fake_logits.sigmoid().clip(1e-7, 1.0 - 1e-7)).log().mean()
+        else:
+            # Non-saturating: minimise -log D(fake) == BCE against ones.
+            adv_loss = self.bce(fake_logits, np.ones(batch.num_anchors))
+
+        w_mse = self.spec.mse_weight if self.spec.mse_weight is not None else float(alpha)
+        total = mse_loss * w_mse + adv_loss * self.spec.adv_weight
+
+        self.p_optimizer.zero_grad()
+        # Only P's parameters are updated, but D's grads must not leak
+        # into its optimiser state: clear them after backward.
+        total.backward()
+        nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
+        self.p_optimizer.step()
+        self.discriminator.zero_grad()
+        return total.item(), mse_loss.item(), adv_loss.item()
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: TrafficDataset, verbose: bool = False) -> AdversarialHistory:
+        """Run the alternating game for ``spec.epochs`` epochs."""
+        alpha = dataset.config.alpha
+        anchors = dataset.rollout_anchors("train")
+        if len(anchors) == 0:
+            raise RuntimeError(
+                "no adversarial anchors available; the train split has no "
+                f"run of {alpha} consecutive windows"
+            )
+        rng = np.random.default_rng(self.spec.seed)
+        history = AdversarialHistory()
+        self.predictor.train()
+        self.discriminator.train()
+
+        for epoch in range(self.spec.epochs):
+            p_losses, mse_losses, adv_losses, d_losses = [], [], [], []
+            real_probs, fake_probs = [], []
+            batches = iterate_batches(anchors, self.spec.adversarial_batch_size, rng=rng)
+            for step, anchor_indices in enumerate(batches):
+                if self.spec.max_steps_per_epoch is not None and step >= self.spec.max_steps_per_epoch:
+                    break
+                batch = dataset.rollout_batch(anchor_indices)
+                for _ in range(self.spec.discriminator_steps):
+                    d_loss, real_prob, fake_prob = self._discriminator_step(batch, alpha)
+                    d_losses.append(d_loss)
+                    real_probs.append(real_prob)
+                    fake_probs.append(fake_prob)
+                p_loss, mse_loss, adv_loss = self._predictor_step(batch, alpha)
+                p_losses.append(p_loss)
+                mse_losses.append(mse_loss)
+                adv_losses.append(adv_loss)
+
+            history.predictor_loss.append(float(np.mean(p_losses)))
+            history.mse_loss.append(float(np.mean(mse_losses)))
+            history.adversarial_loss.append(float(np.mean(adv_losses)))
+            history.discriminator_loss.append(float(np.mean(d_losses)))
+            history.discriminator_real_prob.append(float(np.mean(real_probs)))
+            history.discriminator_fake_prob.append(float(np.mean(fake_probs)))
+            if verbose:
+                print(
+                    f"epoch {epoch + 1}/{self.spec.epochs}: "
+                    f"P {history.predictor_loss[-1]:.4f} "
+                    f"(mse {history.mse_loss[-1]:.5f}, adv {history.adversarial_loss[-1]:.4f}) "
+                    f"D {history.discriminator_loss[-1]:.4f} "
+                    f"real {history.discriminator_real_prob[-1]:.2f} "
+                    f"fake {history.discriminator_fake_prob[-1]:.2f}"
+                )
+        self.predictor.eval()
+        self.discriminator.eval()
+        return history

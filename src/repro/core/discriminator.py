@@ -1,0 +1,81 @@
+"""The APOTS discriminator (Section III-A, V-A).
+
+A five-layer fully-connected network receiving an alpha-long speed
+*sequence* (never a single speed — Section III-A explains why) plus the
+additional-data condition E (Eq 4).  Outputs a raw logit; probabilities
+come from a sigmoid, but training uses the logits for stability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.features import FeatureConfig
+from .config import ModelSpec
+
+__all__ = ["Discriminator"]
+
+
+class Discriminator(nn.Module):
+    """D(sequence | E) -> logit that the sequence is real.
+
+    Parameters
+    ----------
+    features:
+        Window geometry (supplies alpha and condition_dim).
+    spec:
+        Hidden widths (Table I's discriminator is 5 FC layers: four
+        hidden + one output).
+    conditional:
+        When False the condition input is ignored structurally
+        (the Eq 1/2 unconditional game); the input size stays fixed so
+        weights remain comparable — a zero condition is simply expected.
+    sequence_length:
+        Length of the speed sequence D inspects.  Defaults to alpha (the
+        paper's choice); 1 reproduces the naive single-speed variant that
+        Section III-A argues degrades training (kept for the ablation
+        bench).
+    """
+
+    def __init__(
+        self,
+        features: FeatureConfig,
+        spec: ModelSpec | None = None,
+        conditional: bool = True,
+        sequence_length: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        widths = list(spec.discriminator_widths) if spec is not None else [256, 128, 64, 32]
+        self.features = features
+        self.conditional = conditional
+        self.sequence_length = sequence_length if sequence_length is not None else features.alpha
+        if not 1 <= self.sequence_length <= features.alpha:
+            raise ValueError(f"sequence_length must be in [1, alpha], got {self.sequence_length}")
+        input_dim = self.sequence_length + (features.condition_dim if conditional else 0)
+        dims = [input_dim] + widths + [1]
+        stack = nn.Sequential()
+        for i in range(len(dims) - 2):
+            stack.append(nn.Linear(dims[i], dims[i + 1], rng=rng))
+            stack.append(nn.LeakyReLU(0.2))
+        stack.append(nn.Linear(dims[-2], dims[-1], rng=rng))
+        self.net = stack
+
+    def forward(self, sequences: nn.Tensor, condition: nn.Tensor | None = None) -> nn.Tensor:
+        """Return (B,) logits for (B, alpha) sequences."""
+        if self.conditional:
+            if condition is None:
+                raise ValueError("conditional discriminator requires a condition")
+            x = nn.ops.concat([sequences, condition], axis=1)
+        else:
+            x = sequences
+        return self.net(x).reshape(-1)
+
+    def probability(self, sequences: np.ndarray, condition: np.ndarray | None = None) -> np.ndarray:
+        """Grad-free D(.) probabilities for numpy inputs."""
+        with nn.no_grad():
+            cond = nn.Tensor(condition) if condition is not None else None
+            logits = self.forward(nn.Tensor(sequences), cond)
+            return logits.sigmoid().data

@@ -1,0 +1,108 @@
+"""Plain supervised training (the paper's "w/o Adv." column).
+
+Minimises the per-speed MSE of Eq 1's first term only.  Tracks train and
+validation loss per epoch; the experiment harness uses validation MAPE
+for early-stopping-style model selection when requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import TrafficDataset, iterate_batches
+from .config import TrainSpec
+from .predictors import Predictor
+
+__all__ = ["TrainHistory", "SupervisedTrainer"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch losses collected during a fit."""
+
+    train_loss: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+class SupervisedTrainer:
+    """Adam + MSE trainer for any :class:`Predictor`."""
+
+    def __init__(self, predictor: Predictor, spec: TrainSpec | None = None):
+        self.predictor = predictor
+        self.spec = spec if spec is not None else TrainSpec()
+        self.optimizer = nn.Adam(predictor.parameters(), lr=self.spec.learning_rate)
+        self.loss_fn = nn.MSELoss()
+
+    def _epoch_batches(self, dataset: TrafficDataset, rng: np.random.Generator):
+        batches = iterate_batches(
+            dataset.subset("train"), self.spec.batch_size, rng=rng, shuffle=True
+        )
+        limit = self.spec.max_steps_per_epoch
+        for step, indices in enumerate(batches):
+            if limit is not None and step >= limit:
+                return
+            yield dataset.batch(indices)
+
+    def fit(self, dataset: TrafficDataset, verbose: bool = False) -> TrainHistory:
+        """Train for up to ``spec.epochs`` epochs; returns the loss history.
+
+        With ``spec.early_stopping_patience`` set, training stops after
+        that many epochs without a validation improvement and the best
+        weights (by validation loss) are restored.
+        """
+        rng = np.random.default_rng(self.spec.seed)
+        history = TrainHistory()
+        patience = self.spec.early_stopping_patience
+        best_val = float("inf")
+        best_state = None
+        stale_epochs = 0
+        self.predictor.train()
+        for epoch in range(self.spec.epochs):
+            losses = []
+            for batch in self._epoch_batches(dataset, rng):
+                prediction = self.predictor.predict_arrays(batch.images, batch.day_types, batch.flat)
+                loss = self.loss_fn(prediction, batch.targets)
+                self.optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
+                self.optimizer.step()
+                losses.append(loss.item())
+            history.train_loss.append(float(np.mean(losses)) if losses else float("nan"))
+            val_loss = self.validation_loss(dataset)
+            history.validation_loss.append(val_loss)
+            if verbose:
+                print(
+                    f"epoch {epoch + 1}/{self.spec.epochs}: "
+                    f"train {history.train_loss[-1]:.5f} val {val_loss:.5f}"
+                )
+            if patience is not None and np.isfinite(val_loss):
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_state = self.predictor.state_dict()
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= patience:
+                        if verbose:
+                            print(f"early stop after epoch {epoch + 1} (patience {patience})")
+                        break
+        if best_state is not None:
+            self.predictor.load_state_dict(best_state)
+        self.predictor.eval()
+        return history
+
+    def validation_loss(self, dataset: TrafficDataset) -> float:
+        """Mean squared error on the validation subset."""
+        indices = dataset.subset("validation")
+        if len(indices) == 0:
+            return float("nan")
+        batch = dataset.batch(indices)
+        prediction = self.predictor.predict(batch.images, batch.day_types, batch.flat)
+        return float(np.mean((prediction - batch.targets) ** 2))

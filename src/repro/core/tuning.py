@@ -1,0 +1,125 @@
+"""Hyper-parameter tuning on the validation split (Section V-A).
+
+The paper tunes each predictor "by a grid search, evaluating the
+accuracy on the validation set" — 20 % of the training samples.  This
+module reproduces that workflow: a declarative grid over training
+hyper-parameters and/or architecture widths, scored by validation MAPE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..data.dataset import TrafficDataset
+from ..metrics.errors import mape
+from .config import ModelSpec, ScalePreset, TrainSpec, table1_spec
+from .model import APOTS
+
+__all__ = ["GridSearchResult", "grid_search", "expand_grid"]
+
+
+def expand_grid(grid: dict[str, list]) -> Iterator[dict[str, Any]]:
+    """Yield every combination of a {name: [values]} grid (sorted keys)."""
+    if not grid:
+        yield {}
+        return
+    keys = sorted(grid)
+    for values in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, values))
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated configurations, best first."""
+
+    entries: list[dict] = field(default_factory=list)
+
+    def sort(self) -> None:
+        self.entries.sort(key=lambda e: e["validation_mape"])
+
+    @property
+    def best(self) -> dict:
+        if not self.entries:
+            raise ValueError("grid search evaluated no configurations")
+        return self.entries[0]
+
+    def best_model(self) -> APOTS:
+        return self.best["model"]
+
+    def render(self) -> str:
+        lines = ["grid search (validation MAPE, best first):"]
+        for entry in self.entries:
+            params = ", ".join(f"{k}={v}" for k, v in entry["params"].items())
+            lines.append(f"  {entry['validation_mape']:7.2f}  {params}")
+        return "\n".join(lines)
+
+
+def _validation_mape(model: APOTS, dataset: TrafficDataset) -> float:
+    """Validation-set MAPE in km/h units."""
+    prediction = model.predict(dataset, subset="validation")
+    truth, _ = dataset.evaluation_arrays("validation")
+    return mape(prediction, truth)
+
+
+def grid_search(
+    kind: str,
+    dataset: TrafficDataset,
+    preset: ScalePreset,
+    train_grid: dict[str, list] | None = None,
+    width_factors: list[float] | None = None,
+    adversarial: bool = False,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Grid-search training hyper-parameters and/or widths for one predictor.
+
+    Parameters
+    ----------
+    kind:
+        Predictor name (F / L / C / H).
+    dataset:
+        Dataset whose validation split scores each configuration.
+    preset:
+        Scale preset providing the base TrainSpec and width factor.
+    train_grid:
+        {TrainSpec field: [candidate values]} — e.g.
+        ``{"learning_rate": [1e-3, 3e-3], "batch_size": [128, 256]}``.
+    width_factors:
+        Optional list of architecture width multipliers to sweep.
+    adversarial:
+        Whether each candidate trains with the APOTS game.
+    """
+    train_grid = train_grid if train_grid is not None else {}
+    width_factors = width_factors if width_factors is not None else [preset.width_factor]
+    base_spec = preset.train_spec(adversarial=adversarial, seed=seed)
+
+    result = GridSearchResult()
+    for width in width_factors:
+        model_spec: ModelSpec = table1_spec(kind, width)
+        for overrides in expand_grid(train_grid):
+            train_spec: TrainSpec = dataclasses.replace(base_spec, **overrides)
+            model = APOTS(
+                predictor=kind,
+                features=dataset.config,
+                adversarial=adversarial,
+                preset=preset,
+                train_spec=train_spec,
+                model_spec=model_spec,
+                seed=seed,
+            )
+            model.fit(dataset)
+            score = _validation_mape(model, dataset)
+            params = {"width_factor": width, **overrides}
+            result.entries.append(
+                {
+                    "params": params,
+                    "validation_mape": float(score) if np.isfinite(score) else float("inf"),
+                    "model": model,
+                }
+            )
+    result.sort()
+    return result

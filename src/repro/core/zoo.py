@@ -1,0 +1,106 @@
+"""Model persistence: save and load fitted APOTS models.
+
+A checkpoint is a directory holding the predictor (and, when present,
+the discriminator) state dicts plus a JSON manifest describing the
+architecture, so ``load_model`` can rebuild the exact module graph
+before loading weights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..data.features import FactorMask, FeatureConfig
+from ..nn import load_state, save_state
+from .config import ModelSpec, PRESETS, ScalePreset
+from .model import APOTS
+
+__all__ = ["save_model", "load_model"]
+
+_MANIFEST = "manifest.json"
+_PREDICTOR = "predictor.npz"
+_DISCRIMINATOR = "discriminator.npz"
+
+
+def _features_to_dict(features: FeatureConfig) -> dict:
+    return {
+        "alpha": features.alpha,
+        "beta": features.beta,
+        "m": features.m,
+        "mask": dataclasses.asdict(features.mask),
+    }
+
+
+def _features_from_dict(payload: dict) -> FeatureConfig:
+    return FeatureConfig(
+        alpha=payload["alpha"],
+        beta=payload["beta"],
+        m=payload["m"],
+        mask=FactorMask(**payload["mask"]),
+    )
+
+
+def _spec_to_dict(spec: ModelSpec) -> dict:
+    payload = dataclasses.asdict(spec)
+    payload["cnn_kernels"] = [list(k) for k in spec.cnn_kernels]
+    return payload
+
+
+def _spec_from_dict(payload: dict) -> ModelSpec:
+    payload = dict(payload)
+    payload["cnn_kernels"] = [tuple(k) for k in payload["cnn_kernels"]]
+    return ModelSpec(**payload)
+
+
+def save_model(model: APOTS, directory: str | Path) -> Path:
+    """Write a fitted APOTS model to ``directory`` (created if missing).
+
+    Returns the directory path.  The training history is not persisted —
+    checkpoints capture what is needed for inference and fine-tuning.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format_version": 1,
+        "kind": model.kind,
+        "adversarial": model.adversarial,
+        "conditional": model.discriminator.conditional if model.discriminator else None,
+        "seed": model.seed,
+        "preset": model.preset.name if model.preset.name in PRESETS else None,
+        "preset_values": dataclasses.asdict(model.preset),
+        "features": _features_to_dict(model.features),
+        "spec": _spec_to_dict(model.spec),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    save_state(model.predictor, directory / _PREDICTOR)
+    if model.discriminator is not None:
+        save_state(model.discriminator, directory / _DISCRIMINATOR)
+    return directory
+
+
+def load_model(directory: str | Path) -> APOTS:
+    """Rebuild an APOTS model from a checkpoint written by save_model."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no APOTS checkpoint at {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != 1:
+        raise ValueError(f"unsupported checkpoint version {manifest.get('format_version')}")
+
+    preset = ScalePreset(**manifest["preset_values"])
+    model = APOTS(
+        predictor=manifest["kind"],
+        features=_features_from_dict(manifest["features"]),
+        adversarial=manifest["adversarial"],
+        conditional=bool(manifest["conditional"]),
+        preset=preset,
+        model_spec=_spec_from_dict(manifest["spec"]) if manifest.get("spec") else None,
+        seed=manifest["seed"],
+    )
+    load_state(model.predictor, directory / _PREDICTOR)
+    if model.discriminator is not None:
+        load_state(model.discriminator, directory / _DISCRIMINATOR)
+    return model

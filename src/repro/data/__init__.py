@@ -1,0 +1,32 @@
+"""``repro.data`` — window extraction, features, scaling and splits."""
+
+from .dataset import Batch, RolloutBatch, TrafficDataset, iterate_batches
+from .features import (
+    FactorMask,
+    FeatureConfig,
+    FeatureScalers,
+    WindowFeatures,
+    build_features,
+    fit_scalers,
+)
+from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler
+from .split import SplitIndices, consecutive_runs, split_windows
+
+__all__ = [
+    "Batch",
+    "RolloutBatch",
+    "TrafficDataset",
+    "iterate_batches",
+    "FactorMask",
+    "FeatureConfig",
+    "FeatureScalers",
+    "WindowFeatures",
+    "build_features",
+    "fit_scalers",
+    "LogStandardScaler",
+    "MinMaxScaler",
+    "StandardScaler",
+    "SplitIndices",
+    "consecutive_runs",
+    "split_windows",
+]

@@ -1,0 +1,314 @@
+"""Feature extraction: from a TrafficSeries to model-ready windows.
+
+Implements the paper's input constructions:
+
+* the **adjacent-speed matrix** ``S_adj`` (Eq 5/6): rows are the target
+  road plus ``m`` upstream and ``m`` downstream segments, columns the
+  ``alpha`` past timesteps;
+* the **non-speed data** ``S_bar``: per-step event flag, temperature,
+  precipitation and hour channels, plus one 4-bit day-type vector per
+  window (the paper uses a single value per window for day type);
+* the **additional data** ``E = S_adj (+) S_bar`` (Eq 3) that conditions
+  the discriminator.
+
+Section V-B (Q2) fixes the input size to the "both" configuration and
+zero-fills whatever is ablated; :class:`FactorMask` reproduces exactly
+that rule, including the per-factor switches of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..traffic.types import TrafficSeries
+from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler
+
+__all__ = [
+    "FactorMask",
+    "FeatureConfig",
+    "FeatureScalers",
+    "WindowFeatures",
+    "build_features",
+    "fit_scalers",
+]
+
+
+@dataclass(frozen=True)
+class FactorMask:
+    """Which feature blocks are active; inactive blocks are zero-filled.
+
+    ``speed`` (the target road's own history) is always on — it is the
+    primary input of every predictor, never ablated.
+    """
+
+    adjacent: bool = True
+    event: bool = True
+    weather: bool = True
+    time: bool = True
+
+    # Named configurations used by the paper -----------------------------
+    @staticmethod
+    def speed_only() -> "FactorMask":
+        return FactorMask(adjacent=False, event=False, weather=False, time=False)
+
+    @staticmethod
+    def adjacent_only() -> "FactorMask":
+        return FactorMask(adjacent=True, event=False, weather=False, time=False)
+
+    @staticmethod
+    def non_speed_only() -> "FactorMask":
+        return FactorMask(adjacent=False, event=True, weather=True, time=True)
+
+    @staticmethod
+    def both() -> "FactorMask":
+        return FactorMask()
+
+    @staticmethod
+    def table2(code: str) -> "FactorMask":
+        """Decode a Table II column name (e.g. ``"SWT"``) to a mask.
+
+        ``S`` always denotes the speed input; the remaining letters turn
+        on Event / Weather / Time.  Adjacent-speed data stays on for all
+        Table II configurations (the table's best cell, SEWT, equals the
+        paper's full APOTS_H which uses both kinds of additional data).
+        """
+        code = code.upper()
+        if not code.startswith("S"):
+            raise ValueError(f"Table II code must start with 'S', got {code!r}")
+        extras = set(code[1:])
+        unknown = extras - set("EWT")
+        if unknown:
+            raise ValueError(f"unknown factor letters {sorted(unknown)} in {code!r}")
+        return FactorMask(adjacent=True, event="E" in extras, weather="W" in extras, time="T" in extras)
+
+    @property
+    def uses_additional(self) -> bool:
+        return self.adjacent or self.event or self.weather or self.time
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Window geometry and factor switches.
+
+    alpha:
+        History length (12 five-minute speeds = 1 hour in the paper).
+    beta:
+        Prediction offset: the target is ``beta`` steps after the last
+        input step (paper's beta = 1 means the next interval).
+    m:
+        Adjacent roads on each side (Fig 3); the speed matrix has
+        ``2m + 1`` rows.
+    mask:
+        Active feature blocks (inactive blocks become zeros).
+    """
+
+    alpha: int = 12
+    beta: int = 1
+    m: int = 2
+    mask: FactorMask = field(default_factory=FactorMask)
+
+    def __post_init__(self):
+        if self.alpha < 2:
+            raise ValueError("alpha must be at least 2")
+        if self.beta < 1:
+            raise ValueError("beta must be at least 1")
+        if self.m < 0:
+            raise ValueError("m must be non-negative")
+
+    @property
+    def num_roads(self) -> int:
+        return 2 * self.m + 1
+
+    @property
+    def image_rows(self) -> int:
+        """Rows of the (roads + 4 non-speed channels) input image."""
+        return self.num_roads + 4
+
+    @property
+    def flat_dim(self) -> int:
+        """Dimension of the flattened feature vector (FC predictor input)."""
+        return self.image_rows * self.alpha + 4
+
+    @property
+    def condition_dim(self) -> int:
+        """Dimension of the additional-data condition E for D.
+
+        E excludes the target road's own history (that is the primary
+        input, not 'additional' data): (2m) adjacent rows + 4 non-speed
+        channels, each alpha long, plus the 4 day-type bits.
+        """
+        return (self.num_roads - 1 + 4) * self.alpha + 4
+
+    def with_mask(self, mask: FactorMask) -> "FeatureConfig":
+        return replace(self, mask=mask)
+
+
+@dataclass
+class FeatureScalers:
+    """Train-fitted scalers shared by transform-time feature building."""
+
+    speed: MinMaxScaler
+    temperature: StandardScaler
+    precipitation: LogStandardScaler
+
+
+@dataclass
+class WindowFeatures:
+    """All windows of a series, as aligned arrays.
+
+    Attributes
+    ----------
+    images:
+        (N, image_rows, alpha) scaled feature image: first ``2m+1`` rows
+        are the adjacent-speed matrix (Eq 6, target road in the middle),
+        then event, temperature, precipitation and hour rows.
+    day_types:
+        (N, 4) day-type bits of each window's last input step.
+    targets:
+        (N,) scaled target speed at ``beta`` steps past the window end.
+    targets_kmh:
+        (N,) unscaled target speeds (for metric computation).
+    last_input_kmh:
+        (N,) unscaled target-road speed at the last input step (used to
+        classify abrupt-change regimes, Eq 7/8).
+    target_steps:
+        (N,) absolute timestep index of each target.
+    config, scalers:
+        The geometry and the train-fitted scalers used.
+    """
+
+    images: np.ndarray
+    day_types: np.ndarray
+    targets: np.ndarray
+    targets_kmh: np.ndarray
+    last_input_kmh: np.ndarray
+    target_steps: np.ndarray
+    config: FeatureConfig
+    scalers: FeatureScalers
+
+    @property
+    def num_windows(self) -> int:
+        return self.images.shape[0]
+
+    def flat(self, indices: np.ndarray | slice = slice(None)) -> np.ndarray:
+        """Flattened (N, flat_dim) view: image rows then day-type bits."""
+        images = self.images[indices]
+        day_types = self.day_types[indices]
+        return np.concatenate([images.reshape(images.shape[0], -1), day_types], axis=1)
+
+    def condition(self, indices: np.ndarray | slice = slice(None)) -> np.ndarray:
+        """The additional-data condition E (Eq 3) per window.
+
+        Excludes the target road's own row of the speed matrix; respects
+        the factor mask through the zero-filling already applied.
+        """
+        images = self.images[indices]
+        m = self.config.m
+        rows = np.delete(images, m, axis=1)  # drop the target road row
+        return np.concatenate([rows.reshape(rows.shape[0], -1), self.day_types[indices]], axis=1)
+
+    def image_sequences(self, indices: np.ndarray | slice = slice(None)) -> np.ndarray:
+        """(N, alpha, image_rows) time-major sequences for the LSTM."""
+        return np.transpose(self.images[indices], (0, 2, 1))
+
+
+def _sliding_windows(values: np.ndarray, alpha: int, num_windows: int) -> np.ndarray:
+    """Stride-trick view of shape (num_windows, ..., alpha) over axis -1."""
+    view = np.lib.stride_tricks.sliding_window_view(values, alpha, axis=-1)
+    # view shape: (..., T - alpha + 1, alpha)
+    return view[..., :num_windows, :]
+
+
+def fit_scalers(series: TrafficSeries, train_steps: np.ndarray | None = None) -> FeatureScalers:
+    """Fit the feature scalers; ``train_steps`` restricts to train times."""
+    if train_steps is None:
+        speed_data = series.speeds
+        temp = series.temperature
+        precip = series.precipitation
+    else:
+        speed_data = series.speeds[:, train_steps]
+        temp = series.temperature[train_steps]
+        precip = series.precipitation[train_steps]
+    return FeatureScalers(
+        speed=MinMaxScaler().fit(speed_data),
+        temperature=StandardScaler().fit(temp),
+        precipitation=LogStandardScaler().fit(precip),
+    )
+
+
+def build_features(
+    series: TrafficSeries,
+    config: FeatureConfig,
+    scalers: FeatureScalers | None = None,
+) -> WindowFeatures:
+    """Extract every valid window of ``series`` under ``config``.
+
+    Window ``i`` covers input steps ``[i, i + alpha - 1]`` and predicts
+    the target-road speed at step ``i + alpha - 1 + beta``.
+    """
+    alpha, beta, m = config.alpha, config.beta, config.m
+    total = series.num_steps
+    num_windows = total - alpha - beta + 1
+    if num_windows <= 0:
+        raise ValueError(
+            f"series too short: {total} steps cannot fit alpha={alpha}, beta={beta} windows"
+        )
+    if scalers is None:
+        scalers = fit_scalers(series)
+
+    adjacent_rows = series.corridor.adjacent_indices(m)
+    target_row_local = m  # position of the target road inside the matrix
+
+    # Adjacent-speed matrix windows: (R, N, alpha) -> (N, R, alpha).
+    adj = scalers.speed.transform(series.speeds[adjacent_rows])
+    adj_windows = np.transpose(_sliding_windows(adj, alpha, num_windows), (1, 0, 2)).copy()
+
+    # Non-speed channels, each (N, alpha).
+    target_index = series.corridor.target_index
+    event = _sliding_windows(series.events[target_index], alpha, num_windows).copy()
+    temp = _sliding_windows(scalers.temperature.transform(series.temperature), alpha, num_windows).copy()
+    precip = _sliding_windows(
+        scalers.precipitation.transform(series.precipitation), alpha, num_windows
+    ).copy()
+    hour = _sliding_windows(series.hours / 23.0, alpha, num_windows).copy()
+
+    # Apply the Q2 zero-filling rule per factor.
+    mask = config.mask
+    if not mask.adjacent:
+        keep = adj_windows[:, target_row_local, :].copy()
+        adj_windows[:] = 0.0
+        adj_windows[:, target_row_local, :] = keep
+    if not mask.event:
+        event[:] = 0.0
+    if not mask.weather:
+        temp[:] = 0.0
+        precip[:] = 0.0
+
+    last_step = np.arange(num_windows) + alpha - 1
+    day_types = series.day_types[last_step].astype(np.float64)
+    if not mask.time:
+        hour[:] = 0.0
+        day_types = np.zeros_like(day_types)
+
+    images = np.concatenate(
+        [adj_windows, event[:, None, :], temp[:, None, :], precip[:, None, :], hour[:, None, :]],
+        axis=1,
+    )
+
+    target_steps = last_step + beta
+    target_kmh = series.speeds[target_index, target_steps]
+    last_input_kmh = series.speeds[target_index, last_step]
+    targets = scalers.speed.transform(target_kmh)
+
+    return WindowFeatures(
+        images=images,
+        day_types=day_types,
+        targets=targets,
+        targets_kmh=target_kmh,
+        last_input_kmh=last_input_kmh,
+        target_steps=target_steps,
+        config=config,
+        scalers=scalers,
+    )

@@ -1,0 +1,100 @@
+"""Feature scalers.
+
+Small fit/transform/inverse scalers over numpy arrays.  Fitting happens
+on training data only; the experiment harness is responsible for passing
+train-only statistics around (no test leakage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler", "StandardScaler", "LogStandardScaler"]
+
+
+class MinMaxScaler:
+    """Scale values linearly into [0, 1] using fitted min/max."""
+
+    def __init__(self):
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.minimum = float(values.min())
+        self.maximum = float(values.max())
+        if self.maximum == self.minimum:
+            # Degenerate constant input: avoid a divide-by-zero later.
+            self.maximum = self.minimum + 1.0
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.minimum is None:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.minimum) / (self.maximum - self.minimum)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(values, dtype=np.float64) * (self.maximum - self.minimum) + self.minimum
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling."""
+
+    def __init__(self):
+        self.mean: float | None = None
+        self.std: float | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean = float(values.mean())
+        self.std = float(values.std())
+        if self.std == 0.0:
+            self.std = 1.0
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean) / self.std
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std + self.mean
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+class LogStandardScaler:
+    """log1p followed by standardisation — for heavy-tailed channels
+    such as precipitation."""
+
+    def __init__(self):
+        self._inner = StandardScaler()
+
+    def fit(self, values: np.ndarray) -> "LogStandardScaler":
+        self._inner.fit(np.log1p(np.asarray(values, dtype=np.float64)))
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return self._inner.transform(np.log1p(np.asarray(values, dtype=np.float64)))
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        return np.expm1(self._inner.inverse_transform(values))
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,181 @@
+"""Train / validation / test splitting of sliding windows.
+
+The paper randomly selects 80 % of the samples for training, discards
+training samples that overlap the test set, and carves 20 % of the
+remaining training samples out as a validation set.
+
+A fully random split of stride-1 windows interacts badly with overlap
+discarding (almost every window overlaps some test window), and the
+adversarial rollout needs *runs* of consecutive training windows.  We
+therefore provide two strategies:
+
+* ``"blocks"`` (default): test windows are sampled as contiguous blocks
+  (default 6 hours).  Overlap discarding then only trims block borders,
+  and long consecutive training runs survive for the rollout.
+* ``"random"`` (paper-literal): i.i.d. window sampling with a
+  configurable overlap-discard radius.
+
+Both return a :class:`SplitIndices` of window indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SplitIndices", "split_windows", "consecutive_runs"]
+
+
+@dataclass(frozen=True)
+class SplitIndices:
+    """Window indices of each partition (sorted, disjoint)."""
+
+    train: np.ndarray
+    validation: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        sets = [set(self.train.tolist()), set(self.validation.tolist()), set(self.test.tolist())]
+        if sets[0] & sets[2] or sets[1] & sets[2] or sets[0] & sets[1]:
+            raise ValueError("split partitions overlap")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return len(self.train), len(self.validation), len(self.test)
+
+
+def _carve_validation(
+    train: np.ndarray,
+    validation_fraction: float,
+    rng: np.random.Generator,
+    block_length: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Move a fraction of train into validation.
+
+    When ``block_length`` is given, whole contiguous chunks are moved so
+    the remaining training runs stay long enough for the adversarial
+    rollout (a fully random carve would shatter every run).
+    """
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in [0, 1)")
+    if block_length is None:
+        count = int(round(len(train) * validation_fraction))
+        shuffled = rng.permutation(train)
+        return np.sort(shuffled[count:]), np.sort(shuffled[:count])
+
+    chunks: list[np.ndarray] = []
+    for run in consecutive_runs(train, min_length=1):
+        for start in range(0, len(run), block_length):
+            chunks.append(run[start : start + block_length])
+    count = max(1, int(round(len(chunks) * validation_fraction)))
+    chosen = set(rng.choice(len(chunks), size=min(count, len(chunks)), replace=False).tolist())
+    validation = [c for i, c in enumerate(chunks) if i in chosen]
+    remaining = [c for i, c in enumerate(chunks) if i not in chosen]
+    empty = np.array([], dtype=np.int64)
+    return (
+        np.sort(np.concatenate(remaining)) if remaining else empty,
+        np.sort(np.concatenate(validation)) if validation else empty,
+    )
+
+
+def split_windows(
+    num_windows: int,
+    test_fraction: float = 0.2,
+    validation_fraction: float = 0.2,
+    strategy: str = "blocks",
+    block_length: int = 72,
+    overlap_radius: int | None = None,
+    window_span: int = 13,
+    rng: np.random.Generator | None = None,
+) -> SplitIndices:
+    """Partition window indices into train / validation / test.
+
+    Parameters
+    ----------
+    num_windows:
+        Total number of sliding windows.
+    test_fraction:
+        Fraction of windows assigned to test (paper: 0.2).
+    validation_fraction:
+        Fraction of the *training* windows moved to validation
+        (paper: 0.2).
+    strategy:
+        ``"blocks"`` or ``"random"`` (see module docstring).
+    block_length:
+        Contiguous test-block length in windows (blocks strategy).
+    overlap_radius:
+        How close (in window indices) a training window may sit to a
+        test window before being discarded.  Defaults to ``window_span``
+        (full overlap discarding) for blocks — cheap there — and 2 for
+        random, where full discarding would delete nearly all data.
+    window_span:
+        Total timestep span of one sample (alpha + beta); two windows
+        overlap iff their indices differ by less than this.
+    rng:
+        Random generator (seeded by the caller for reproducibility).
+    """
+    if num_windows <= 0:
+        raise ValueError("num_windows must be positive")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    if strategy == "blocks":
+        radius = window_span if overlap_radius is None else overlap_radius
+        indices = _block_split(num_windows, test_fraction, block_length, rng)
+    elif strategy == "random":
+        radius = 2 if overlap_radius is None else overlap_radius
+        indices = _random_split(num_windows, test_fraction, rng)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    test_mask = np.zeros(num_windows, dtype=bool)
+    test_mask[indices] = True
+
+    # Discard train windows within `radius` of any test window.
+    forbidden = test_mask.copy()
+    for shift in range(1, radius):
+        forbidden[shift:] |= test_mask[:-shift]
+        forbidden[:-shift] |= test_mask[shift:]
+    train = np.flatnonzero(~forbidden)
+    test = np.flatnonzero(test_mask)
+    carve_block = block_length if strategy == "blocks" else None
+    train, validation = _carve_validation(train, validation_fraction, rng, block_length=carve_block)
+    return SplitIndices(train=train, validation=validation, test=test)
+
+
+def _block_split(
+    num_windows: int, test_fraction: float, block_length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose whole blocks for test until the fraction is reached."""
+    if block_length <= 0:
+        raise ValueError("block_length must be positive")
+    num_blocks = int(np.ceil(num_windows / block_length))
+    target_blocks = max(1, int(round(num_blocks * test_fraction)))
+    chosen = rng.choice(num_blocks, size=min(target_blocks, num_blocks), replace=False)
+    pieces = []
+    for block in chosen:
+        start = block * block_length
+        stop = min(start + block_length, num_windows)
+        pieces.append(np.arange(start, stop))
+    return np.sort(np.concatenate(pieces))
+
+
+def _random_split(num_windows: int, test_fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Paper-literal i.i.d. window sampling."""
+    count = int(round(num_windows * test_fraction))
+    return np.sort(rng.choice(num_windows, size=count, replace=False))
+
+
+def consecutive_runs(indices: np.ndarray, min_length: int) -> list[np.ndarray]:
+    """Group sorted indices into consecutive runs of at least ``min_length``.
+
+    Used by the adversarial trainer, which needs ``alpha`` consecutive
+    training windows to roll out a predicted sequence.
+    """
+    if len(indices) == 0:
+        return []
+    indices = np.sort(indices)
+    breaks = np.flatnonzero(np.diff(indices) != 1)
+    runs = np.split(indices, breaks + 1)
+    return [run for run in runs if len(run) >= min_length]

@@ -1,0 +1,5 @@
+"""Module runner for ``python -m repro.experiments``."""
+
+from .cli import main
+
+raise SystemExit(main())

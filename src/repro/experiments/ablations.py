@@ -1,0 +1,191 @@
+"""Ablation studies of APOTS design choices (DESIGN.md section 6).
+
+Each ablation isolates one decision the paper makes and measures its
+effect at a configurable scale:
+
+* ``loss_ratio`` — the alpha : 1 MSE-to-adversarial weighting of the
+  Section III footnote, against weaker/stronger MSE weights;
+* ``discriminator_input`` — sequence-level vs single-speed D input
+  (Section III-A argues single speeds give D conflicting labels);
+* ``conditioning`` — D conditioned on E (Eq 4) vs unconditional (Eq 1/2)
+  while P still receives the additional data;
+* ``adjacency`` — the number m of adjacent roads per side (Fig 3);
+* ``horizon`` — the prediction offset beta.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.adversarial import APOTSTrainer
+from ..core.config import ScalePreset, table1_spec
+from ..core.discriminator import Discriminator
+from ..core.model import APOTS
+from ..core.predictors import build_predictor
+from ..data.features import FactorMask, FeatureConfig
+from .reporting import render_table
+from .scenario import DEFAULT_SEED, make_dataset, resolve_preset, train_model
+
+__all__ = [
+    "AblationResult",
+    "loss_ratio_ablation",
+    "discriminator_input_ablation",
+    "conditioning_ablation",
+    "adjacency_ablation",
+    "horizon_ablation",
+]
+
+
+@dataclass
+class AblationResult:
+    """MAPE (and optionally regime MAPEs) per ablation setting."""
+
+    name: str
+    mape: dict[str, float] = field(default_factory=dict)
+    abrupt_mape: dict[str, float] = field(default_factory=dict)
+
+    def best(self) -> tuple[str, float]:
+        setting = min(self.mape, key=self.mape.get)
+        return setting, self.mape[setting]
+
+    def render(self) -> str:
+        headers = ["setting", "MAPE"]
+        has_abrupt = bool(self.abrupt_mape)
+        if has_abrupt:
+            headers.append("abrupt MAPE")
+        rows = []
+        for setting, value in self.mape.items():
+            row = [setting, value]
+            if has_abrupt:
+                row.append(self.abrupt_mape.get(setting, float("nan")))
+            rows.append(row)
+        return render_table(headers, rows, title=f"Ablation: {self.name}")
+
+
+def _abrupt_mape(report) -> float:
+    """Pooled abrupt-regime MAPE (acc and dec), NaN when no samples."""
+    values = [
+        report.by_regime["abrupt_acc"]["mape"],
+        report.by_regime["abrupt_dec"]["mape"],
+    ]
+    finite = [v for v in values if np.isfinite(v)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def loss_ratio_ablation(
+    preset: str | ScalePreset = "medium",
+    seed: int = DEFAULT_SEED,
+    kind: str = "F",
+    ratios: tuple[float, ...] | None = None,
+) -> AblationResult:
+    """Vary the MSE weight around the paper's alpha : 1 rule."""
+    preset = resolve_preset(preset)
+    dataset = make_dataset(preset, mask=FactorMask.speed_only(), seed=seed)
+    alpha = dataset.config.alpha
+    if ratios is None:
+        ratios = (1.0, alpha / 2.0, float(alpha), 4.0 * alpha)
+    result = AblationResult(name="MSE : adversarial loss ratio")
+    for ratio in ratios:
+        spec = dataclasses.replace(
+            preset.train_spec(adversarial=True, seed=seed), mse_weight=ratio
+        )
+        model = APOTS(
+            predictor=kind,
+            features=dataset.config,
+            adversarial=True,
+            conditional=False,
+            preset=preset,
+            train_spec=spec,
+            seed=seed,
+        )
+        model.fit(dataset)
+        report = model.evaluate(dataset)
+        label = f"w_mse={ratio:g}" + (" (paper: alpha)" if ratio == alpha else "")
+        result.mape[label] = report.mape
+        result.abrupt_mape[label] = _abrupt_mape(report)
+    return result
+
+
+def discriminator_input_ablation(
+    preset: str | ScalePreset = "medium",
+    seed: int = DEFAULT_SEED,
+    kind: str = "F",
+) -> AblationResult:
+    """Sequence-level (paper) vs single-speed discriminator input."""
+    preset = resolve_preset(preset)
+    dataset = make_dataset(preset, mask=FactorMask.speed_only(), seed=seed)
+    result = AblationResult(name="discriminator input granularity")
+    for label, length in (("sequence (alpha)", dataset.config.alpha), ("single speed", 1)):
+        rng = np.random.default_rng(seed)
+        spec = table1_spec(kind, preset.width_factor)
+        predictor = build_predictor(kind, dataset.config, spec=spec, rng=rng)
+        disc = Discriminator(
+            dataset.config, spec=spec, conditional=False, sequence_length=length, rng=rng
+        )
+        trainer = APOTSTrainer(predictor, disc, preset.train_spec(adversarial=True, seed=seed))
+        trainer.fit(dataset)
+        model = APOTS(
+            predictor=kind, features=dataset.config, adversarial=False, preset=preset, seed=seed
+        )
+        model.predictor = predictor  # evaluate the trained predictor
+        report = model.evaluate(dataset)
+        result.mape[label] = report.mape
+        result.abrupt_mape[label] = _abrupt_mape(report)
+    return result
+
+
+def conditioning_ablation(
+    preset: str | ScalePreset = "medium",
+    seed: int = DEFAULT_SEED,
+    kind: str = "H",
+) -> AblationResult:
+    """D(. | E) (Eq 4) vs unconditional D (Eq 1/2), with full features."""
+    preset = resolve_preset(preset)
+    dataset = make_dataset(preset, mask=FactorMask.both(), seed=seed)
+    result = AblationResult(name="discriminator conditioning on E")
+    for label, conditional in (("conditional (Eq 4)", True), ("unconditional", False)):
+        model = train_model(
+            kind, dataset, preset, adversarial=True, conditional=conditional, seed=seed
+        )
+        report = model.evaluate(dataset)
+        result.mape[label] = report.mape
+        result.abrupt_mape[label] = _abrupt_mape(report)
+    return result
+
+
+def adjacency_ablation(
+    preset: str | ScalePreset = "medium",
+    seed: int = DEFAULT_SEED,
+    kind: str = "C",
+    ms: tuple[int, ...] = (0, 1, 2, 3),
+) -> AblationResult:
+    """Sweep the number of adjacent roads per side (Fig 3's m)."""
+    preset = resolve_preset(preset)
+    result = AblationResult(name="adjacent roads per side (m)")
+    for m in ms:
+        features = FeatureConfig(m=m)
+        dataset = make_dataset(preset, features=features, seed=seed)
+        model = train_model(kind, dataset, preset, adversarial=False, seed=seed)
+        result.mape[f"m={m}"] = model.evaluate(dataset).mape
+    return result
+
+
+def horizon_ablation(
+    preset: str | ScalePreset = "medium",
+    seed: int = DEFAULT_SEED,
+    kind: str = "F",
+    betas: tuple[int, ...] = (1, 3, 6, 12),
+) -> AblationResult:
+    """Sweep the prediction offset beta (5 min to 1 hour ahead)."""
+    preset = resolve_preset(preset)
+    result = AblationResult(name="prediction horizon (beta)")
+    for beta in betas:
+        features = FeatureConfig(beta=beta)
+        dataset = make_dataset(preset, features=features, seed=seed)
+        model = train_model(kind, dataset, preset, adversarial=False, seed=seed)
+        minutes = beta * 5
+        result.mape[f"beta={beta} ({minutes} min)"] = model.evaluate(dataset).mape
+    return result

@@ -1,0 +1,63 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments --list
+
+Regenerate Table III at the medium scale::
+
+    python -m repro.experiments table3 --preset medium
+
+Run everything at smoke scale (fast sanity sweep)::
+
+    python -m repro.experiments all --preset smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the APOTS paper (ICDE 2022).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--preset", default="medium", help="scale preset: smoke | medium | paper")
+    parser.add_argument("--seed", type=int, default=None, help="master random seed")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list or args.experiment is None:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:8s}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, preset=args.preset, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"\n[{name} done in {elapsed:.1f}s at preset={args.preset}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Fig 1 — the motivating abrupt-change cases.
+
+Extracts three-hour episodes from the simulated corridor that match the
+paper's four panels: morning rush, evening rush, a rainy evening, and an
+accident recovery.  Each episode is a (timestamps, target-road speeds)
+trace; the paper's point is that speed collapses or recovers within a
+few five-minute intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..traffic.types import TrafficSeries
+from .reporting import render_series
+from .scenario import DEFAULT_SEED, get_series, resolve_preset
+
+__all__ = ["Episode", "Fig1Result", "find_episode", "run", "EPISODE_NAMES"]
+
+EPISODE_NAMES = ("morning_rush", "evening_rush", "rainy", "accident_recovery")
+
+#: Episode length: 3 hours of 5-minute steps, as in the paper's panels.
+EPISODE_STEPS = 36
+
+
+@dataclass
+class Episode:
+    """One extracted trace."""
+
+    name: str
+    start_step: int
+    labels: list[str]
+    speeds_kmh: np.ndarray
+
+    @property
+    def drop(self) -> float:
+        """Largest speed drop within the episode (km/h)."""
+        return float(self.speeds_kmh.max() - self.speeds_kmh.min())
+
+    def render(self) -> str:
+        return render_series(
+            self.labels, {"Real": self.speeds_kmh}, title=f"Fig 1 ({self.name})", stride=3
+        )
+
+
+@dataclass
+class Fig1Result:
+    episodes: dict[str, Episode] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return "\n\n".join(e.render() for e in self.episodes.values())
+
+
+def _window_scores(series: TrafficSeries, name: str) -> np.ndarray:
+    """Score every possible episode start for how well it fits ``name``."""
+    speeds = series.target_speeds()
+    total = series.num_steps
+    scores = np.full(total, -np.inf)
+    steps_per_day = (24 * 60) // series.interval_minutes
+    target_row = series.corridor.target_index
+
+    for start in range(0, total - EPISODE_STEPS):
+        stop = start + EPISODE_STEPS
+        window = speeds[start:stop]
+        hour = series.hours[start]
+        weekday = series.day_types[start, 0] == 1
+        variation = float(window.max() - window.min())
+        if name == "morning_rush":
+            if weekday and 5 <= hour <= 8:
+                scores[start] = variation
+        elif name == "evening_rush":
+            if weekday and 16 <= hour <= 20:
+                scores[start] = variation
+        elif name == "rainy":
+            rain = float(series.precipitation[start:stop].sum())
+            if rain > 0.5:
+                scores[start] = variation + 5.0 * rain
+        elif name == "accident_recovery":
+            # An accident affects the target road directly or by queue
+            # spillback from up to two segments downstream (higher index).
+            rows = range(target_row, min(target_row + 3, series.num_segments))
+            events = float(sum(series.events[r, start:stop].sum() for r in rows))
+            if events > 0:
+                scores[start] = variation + 2.0 * events
+        else:
+            raise ValueError(f"unknown episode name {name!r}")
+    return scores
+
+
+def find_episode(series: TrafficSeries, name: str) -> Episode | None:
+    """Best-matching episode, or None when the series has no candidate."""
+    scores = _window_scores(series, name)
+    best = int(np.argmax(scores))
+    if not np.isfinite(scores[best]):
+        return None
+    stop = best + EPISODE_STEPS
+    labels = [series.timestamps[i].strftime("%H:%M") for i in range(best, stop)]
+    return Episode(
+        name=name,
+        start_step=best,
+        labels=labels,
+        speeds_kmh=series.target_speeds()[best:stop].copy(),
+    )
+
+
+def run(preset: str = "medium", seed: int = DEFAULT_SEED) -> Fig1Result:
+    """Extract all four Fig 1 episodes from the preset's series."""
+    series = get_series(resolve_preset(preset), seed)
+    result = Fig1Result()
+    for name in EPISODE_NAMES:
+        episode = find_episode(series, name)
+        if episode is not None:
+            result.episodes[name] = episode
+    return result

@@ -1,0 +1,75 @@
+"""Fig 4 — Q1: effect of adversarial training (Section V-B).
+
+Compares F, C, L, H against Adv_F, Adv_C, Adv_L, Adv_H — adversarial
+training only, **no additional data** — reporting MAPE over the whole
+test period, the normal regime, and the abrupt acceleration /
+deceleration regimes (theta = +-0.3, Eq 7/8).
+
+Expected shape (paper): adversarial training lowers MAPE everywhere, by
+far the most for F and in the abrupt regimes (F's abrupt-dec MAPE drops
+from 79.84 to 26.83).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.features import FactorMask
+from .reporting import render_bars
+from .scenario import DEFAULT_SEED, make_dataset, train_model
+
+__all__ = ["Fig4Result", "run"]
+
+REGIMES = ("whole", "normal", "abrupt_acc", "abrupt_dec")
+REGIME_LABELS = ("Whole period", "Normal", "Abrupt acc", "Abrupt dec")
+PREDICTORS = ("F", "C", "L", "H")
+
+
+@dataclass
+class Fig4Result:
+    """MAPE per (model variant, regime)."""
+
+    mape: dict[str, dict[str, float]] = field(default_factory=dict)
+    regime_counts: dict[str, int] = field(default_factory=dict)
+
+    def improvement(self, kind: str, regime: str) -> float:
+        """Absolute MAPE reduction from plain to adversarial."""
+        return self.mape[kind][regime] - self.mape[f"Adv {kind}"][regime]
+
+    @property
+    def predictors(self) -> list[str]:
+        """The plain-model names present in the result."""
+        return [k for k in self.mape if not k.startswith("Adv ")]
+
+    def render(self) -> str:
+        parts = []
+        for kind in self.predictors:
+            groups = {
+                kind: [self.mape[kind][r] for r in REGIMES],
+                f"Adv {kind}": [self.mape[f"Adv {kind}"][r] for r in REGIMES],
+            }
+            parts.append(
+                render_bars(
+                    list(REGIME_LABELS),
+                    groups,
+                    title=f"Fig 4 ({kind}): effect of adversarial training [MAPE %]",
+                )
+            )
+        counts = ", ".join(f"{k}={v}" for k, v in self.regime_counts.items())
+        parts.append(f"test samples per regime: {counts}")
+        return "\n\n".join(parts)
+
+
+def run(preset: str = "medium", seed: int = DEFAULT_SEED, predictors=PREDICTORS) -> Fig4Result:
+    """Train the 2 x len(predictors) grid and collect regime MAPEs."""
+    dataset = make_dataset(preset, mask=FactorMask.speed_only(), seed=seed)
+    result = Fig4Result()
+    for kind in predictors:
+        plain = train_model(kind, dataset, preset, adversarial=False, seed=seed)
+        adv = train_model(kind, dataset, preset, adversarial=True, conditional=False, seed=seed)
+        plain_report = plain.evaluate(dataset)
+        adv_report = adv.evaluate(dataset)
+        result.mape[kind] = {r: plain_report.regime_mape(r) for r in REGIMES}
+        result.mape[f"Adv {kind}"] = {r: adv_report.regime_mape(r) for r in REGIMES}
+        result.regime_counts = plain_report.regime_counts
+    return result

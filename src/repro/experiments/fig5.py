@@ -1,0 +1,69 @@
+"""Fig 5 — Q2: effect of additional data (Section V-B).
+
+Compares each predictor *without adversarial training* across four input
+configurations: speed only, + adjacent-speed data, + non-speed data, and
+both.  Input size is identical in all four configurations — ablated
+blocks are zero-filled (the paper fixes the input to configuration (3)
+and fills the rest with 0).
+
+Expected shape (paper): every kind of additional data helps every
+predictor; using both helps most (F: 21.4 -> 17.9 MAPE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.features import FactorMask
+from .reporting import render_bars, render_table
+from .scenario import DEFAULT_SEED, make_dataset, train_model
+
+__all__ = ["Fig5Result", "run", "CONFIGURATIONS"]
+
+#: Input configurations, ordered as the paper's x-axis (best first).
+CONFIGURATIONS: dict[str, FactorMask] = {
+    "Both": FactorMask.both(),
+    "Non speed": FactorMask.non_speed_only(),
+    "Adjacent speed": FactorMask.adjacent_only(),
+    "Speed only": FactorMask.speed_only(),
+}
+
+PREDICTORS = ("F", "C", "L", "H")
+
+
+@dataclass
+class Fig5Result:
+    """MAPE per (configuration, predictor)."""
+
+    mape: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def gain_over_speed_only(self, configuration: str, kind: str) -> float:
+        """Relative MAPE improvement (%) of a configuration vs speed-only."""
+        base = self.mape["Speed only"][kind]
+        return (base - self.mape[configuration][kind]) / base * 100.0
+
+    @property
+    def predictors(self) -> list[str]:
+        """Predictor names present in the result."""
+        return list(next(iter(self.mape.values())).keys()) if self.mape else []
+
+    def render(self) -> str:
+        labels = list(CONFIGURATIONS)
+        kinds = self.predictors
+        groups = {kind: [self.mape[c][kind] for c in labels] for kind in kinds}
+        bars = render_bars(labels, groups, title="Fig 5: effect of additional data [MAPE %]")
+        rows = [[c] + [self.mape[c][k] for k in kinds] for c in labels]
+        table = render_table(["configuration"] + kinds, rows)
+        return bars + "\n\n" + table
+
+
+def run(preset: str = "medium", seed: int = DEFAULT_SEED, predictors=PREDICTORS) -> Fig5Result:
+    """Train len(predictors) x 4 plain models over the factor grid."""
+    result = Fig5Result()
+    for configuration, mask in CONFIGURATIONS.items():
+        dataset = make_dataset(preset, mask=mask, seed=seed)
+        result.mape[configuration] = {}
+        for kind in predictors:
+            model = train_model(kind, dataset, preset, adversarial=False, seed=seed)
+            result.mape[configuration][kind] = model.evaluate(dataset).mape
+    return result

@@ -1,0 +1,98 @@
+"""Fig 6 — case-study prediction traces (Section V-B).
+
+Replays the Fig 1 episodes through the trained models: the plain
+predictors P (speed only, no adversarial training) against the full
+APOTS variants (speed + additional data, adversarial).  The paper shows
+the APOTS traces locking onto abrupt drops and recoveries that the plain
+predictors lag behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.model import APOTS
+from ..data.dataset import TrafficDataset
+from ..data.features import FactorMask
+from ..metrics.errors import mape
+from .fig1 import EPISODE_NAMES, Episode, find_episode
+from .reporting import render_series
+from .scenario import DEFAULT_SEED, get_series, make_dataset, resolve_preset, train_model
+
+__all__ = ["Fig6Result", "run", "predict_episode"]
+
+PREDICTORS = ("F", "C", "L", "H")
+
+
+@dataclass
+class CaseTrace:
+    """Real and per-model predicted speeds over one episode."""
+
+    episode: Episode
+    predictions: dict[str, np.ndarray]
+
+    def model_mape(self, name: str) -> float:
+        return mape(self.predictions[name], self.episode.speeds_kmh)
+
+    def render(self, stride: int = 3) -> str:
+        series = {"Real": self.episode.speeds_kmh}
+        series.update(self.predictions)
+        return render_series(
+            self.episode.labels, series, title=f"Fig 6 ({self.episode.name})", stride=stride
+        )
+
+
+@dataclass
+class Fig6Result:
+    traces: dict[str, CaseTrace] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return "\n\n".join(t.render() for t in self.traces.values())
+
+
+def predict_episode(model: APOTS, dataset: TrafficDataset, episode: Episode) -> np.ndarray:
+    """Model predictions for every step of an episode.
+
+    Step ``s`` is predicted from the window ending ``beta`` steps before
+    it; early steps without a full history fall back to the true speed
+    (they are plotted, not scored, in the paper's figure).
+    """
+    config = dataset.config
+    steps = np.arange(episode.start_step, episode.start_step + len(episode.speeds_kmh))
+    window_indices = steps - (config.alpha - 1) - config.beta
+    valid = window_indices >= 0
+    predictions = episode.speeds_kmh.copy()
+    if valid.any():
+        batch = dataset.batch(window_indices[valid])
+        scaled = model.predictor.predict(batch.images, batch.day_types, batch.flat)
+        predictions[valid] = dataset.kmh(scaled)
+    return predictions
+
+
+def run(preset: str = "medium", seed: int = DEFAULT_SEED, predictors=PREDICTORS) -> Fig6Result:
+    """Train the 2 x len(predictors) models and replay all episodes."""
+    preset = resolve_preset(preset)
+    series = get_series(preset, seed)
+    speed_only = make_dataset(preset, mask=FactorMask.speed_only(), seed=seed)
+    with_add = make_dataset(preset, mask=FactorMask.both(), seed=seed)
+
+    models: dict[str, tuple[APOTS, TrafficDataset]] = {}
+    for kind in predictors:
+        plain = train_model(kind, speed_only, preset, adversarial=False, seed=seed)
+        full = train_model(kind, with_add, preset, adversarial=True, conditional=True, seed=seed)
+        models[kind] = (plain, speed_only)
+        models[f"APOTS_{kind}"] = (full, with_add)
+
+    result = Fig6Result()
+    for name in EPISODE_NAMES:
+        episode = find_episode(series, name)
+        if episode is None:
+            continue
+        predictions = {
+            label: predict_episode(model, dataset, episode)
+            for label, (model, dataset) in models.items()
+        }
+        result.traces[name] = CaseTrace(episode=episode, predictions=predictions)
+    return result

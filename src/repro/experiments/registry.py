@@ -1,0 +1,58 @@
+"""Experiment registry: id -> runner, for the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from . import ablations, fig1, fig4, fig5, fig6, table2, table3
+
+__all__ = ["EXPERIMENTS", "run_experiment", "Renderable"]
+
+
+class Renderable(Protocol):
+    """Every experiment result can render itself as text."""
+
+    def render(self) -> str: ...
+
+
+#: Experiment id -> (runner, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
+    "fig1": (fig1.run, "abrupt-change motivating cases (rush / rain / accident)"),
+    "fig4": (fig4.run, "Q1: effect of adversarial training, per regime"),
+    "fig5": (fig5.run, "Q2: effect of additional data"),
+    "table2": (table2.run, "Q2b: non-speed factor ablation for APOTS_H"),
+    "table3": (table3.run, "Q3: full model grid incl. Prophet, with gains"),
+    "fig6": (fig6.run, "case-study prediction traces"),
+    "ablation_loss_ratio": (
+        ablations.loss_ratio_ablation,
+        "ablation: the alpha:1 MSE-to-adversarial weighting",
+    ),
+    "ablation_disc_input": (
+        ablations.discriminator_input_ablation,
+        "ablation: sequence-level vs single-speed discriminator input",
+    ),
+    "ablation_conditioning": (
+        ablations.conditioning_ablation,
+        "ablation: conditional (Eq 4) vs unconditional discriminator",
+    ),
+    "ablation_adjacency": (
+        ablations.adjacency_ablation,
+        "ablation: number of adjacent roads per side (m)",
+    ),
+    "ablation_horizon": (
+        ablations.horizon_ablation,
+        "ablation: prediction offset beta (5-60 minutes)",
+    ),
+}
+
+
+def run_experiment(name: str, preset: str = "medium", seed: int | None = None) -> Renderable:
+    """Run one experiment by id."""
+    try:
+        runner, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}") from None
+    kwargs = {"preset": preset}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return runner(**kwargs)

@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment results in the paper's shapes.
+
+Tables print as aligned ASCII grids; figure-style results print as
+labelled value series (one row per bar / line of the original figure),
+so the terminal output can be compared to the paper at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_bars", "render_series", "format_value"]
+
+
+def format_value(value, decimals: int = 2) -> str:
+    """Format a cell: floats rounded, NaN as '-', everything else str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    decimals: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[format_value(cell, decimals) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_bars(
+    labels: Sequence[str],
+    groups: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+    decimals: int = 2,
+) -> str:
+    """Render grouped horizontal bars (the shape of Figs 4 and 5).
+
+    ``groups`` maps a series name (e.g. "F", "Adv F") to one value per
+    label (e.g. per regime).
+    """
+    all_values = [v for values in groups.values() for v in values if not np.isnan(v)]
+    peak = max(all_values) if all_values else 1.0
+    peak = peak if peak > 0 else 1.0
+    name_width = max(len(n) for n in groups)
+    label_width = max(len(l) for l in labels)
+    parts = [title] if title else []
+    for i, label in enumerate(labels):
+        for name, values in groups.items():
+            value = values[i]
+            if np.isnan(value):
+                bar, text = "", "-"
+            else:
+                bar = "#" * max(1, int(round(value / peak * width)))
+                text = f"{value:.{decimals}f}"
+            parts.append(f"{label.rjust(label_width)}  {name.ljust(name_width)} |{bar} {text}")
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+def render_series(
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    decimals: int = 1,
+    stride: int = 1,
+) -> str:
+    """Render aligned numeric series (the shape of Figs 1 and 6)."""
+    parts = [title] if title else []
+    header = ["time".ljust(6)] + [name.rjust(8) for name in series]
+    parts.append("  ".join(header))
+    for i in range(0, len(x_labels), stride):
+        row = [str(x_labels[i]).ljust(6)]
+        for values in series.values():
+            value = values[i]
+            row.append(format_value(float(value), decimals).rjust(8))
+        parts.append("  ".join(row))
+    return "\n".join(parts)

@@ -1,0 +1,144 @@
+"""Shared experiment scaffolding: datasets, presets and model runners.
+
+Every Section V experiment runs on the same simulated corridor and the
+same train/validation/test split, so that ablations differ only in the
+factor mask or training mode — mirroring the paper's single-dataset
+setup.  Simulated series and splits are cached per (days, seed) within
+the process because several experiments reuse them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.config import PRESETS, ScalePreset
+from ..core.model import APOTS
+from ..data.dataset import TrafficDataset
+from ..data.features import FactorMask, FeatureConfig
+from ..data.split import SplitIndices, split_windows
+from ..traffic.simulator import simulate
+from ..traffic.types import SimulationConfig, TrafficSeries
+
+__all__ = [
+    "resolve_preset",
+    "get_series",
+    "get_split",
+    "make_dataset",
+    "train_model",
+    "clear_model_cache",
+    "EXPERIMENT_BETA",
+]
+
+#: Default master seed for all experiments (the study year).
+DEFAULT_SEED = 2018
+
+#: Prediction offset used by the experiment harness: 6 intervals = 30
+#: minutes ahead.  The paper leaves beta unstated; on the simulator a
+#: 5-minute horizon is so easy that persistence is near-optimal and all
+#: methods tie, while at 30 minutes the error magnitudes (and the value
+#: of contextual data) match the paper's reported range.  See DESIGN.md.
+EXPERIMENT_BETA = 6
+
+
+def resolve_preset(preset: str | ScalePreset) -> ScalePreset:
+    """Accept either a preset name or an explicit ScalePreset."""
+    if isinstance(preset, ScalePreset):
+        return preset
+    try:
+        return PRESETS[preset]
+    except KeyError:
+        raise ValueError(f"unknown preset {preset!r}; have {sorted(PRESETS)}") from None
+
+
+@lru_cache(maxsize=4)
+def _cached_series(num_days: int, seed: int) -> TrafficSeries:
+    return simulate(SimulationConfig(num_days=num_days, seed=seed))
+
+
+def get_series(preset: str | ScalePreset, seed: int = DEFAULT_SEED) -> TrafficSeries:
+    """The simulated corridor series for a preset (cached)."""
+    preset = resolve_preset(preset)
+    return _cached_series(preset.num_days, seed)
+
+
+@lru_cache(maxsize=8)
+def _cached_split(num_windows: int, window_span: int, seed: int) -> SplitIndices:
+    return split_windows(num_windows, window_span=window_span, rng=np.random.default_rng(seed))
+
+
+def get_split(num_windows: int, window_span: int, seed: int = DEFAULT_SEED) -> SplitIndices:
+    """A deterministic split shared by all models of an experiment."""
+    return _cached_split(num_windows, window_span, seed)
+
+
+def make_dataset(
+    preset: str | ScalePreset,
+    mask: FactorMask | None = None,
+    features: FeatureConfig | None = None,
+    seed: int = DEFAULT_SEED,
+) -> TrafficDataset:
+    """Dataset for a preset and factor mask, on the shared split.
+
+    All masks share the same window geometry, so the same split indices
+    apply and model comparisons see identical train/test samples.
+    """
+    preset = resolve_preset(preset)
+    series = get_series(preset, seed)
+    config = features if features is not None else FeatureConfig(beta=EXPERIMENT_BETA)
+    if mask is not None:
+        config = config.with_mask(mask)
+    num_windows = series.num_steps - config.alpha - config.beta + 1
+    split = get_split(num_windows, config.alpha + config.beta, seed)
+    return TrafficDataset(series, config, split=split, seed=seed)
+
+
+#: Cross-experiment cache of fitted models.  Several paper artefacts
+#: evaluate the *same* trained cell (e.g. the Table III corner models
+#: reappear in Figs 4 and 6), so `python -m repro.experiments all`
+#: trains each unique configuration once.
+_MODEL_CACHE: dict[tuple, APOTS] = {}
+
+
+def clear_model_cache() -> None:
+    """Drop all cached fitted models (tests use this for isolation)."""
+    _MODEL_CACHE.clear()
+
+
+def train_model(
+    kind: str,
+    dataset: TrafficDataset,
+    preset: str | ScalePreset,
+    adversarial: bool,
+    conditional: bool | None = None,
+    seed: int = DEFAULT_SEED,
+    use_cache: bool = True,
+) -> APOTS:
+    """Build and fit one APOTS variant on ``dataset``.
+
+    ``conditional`` defaults to whether the dataset's mask enables any
+    additional data: an Adv-only model (Fig 4) plays the unconditional
+    Eq 1/2 game, the full model the conditional Eq 4 game.
+
+    Fitted models are cached on (architecture, data configuration,
+    preset, seed); pass ``use_cache=False`` to force a retrain.
+    """
+    if conditional is None:
+        conditional = dataset.config.mask.uses_additional
+    preset = resolve_preset(preset)
+    key = (kind, adversarial, conditional, preset, seed, dataset.config)
+    if use_cache and key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+    model = APOTS(
+        predictor=kind,
+        features=dataset.config,
+        adversarial=adversarial,
+        conditional=conditional,
+        preset=preset,
+        seed=seed,
+    )
+    model.fit(dataset)
+    if use_cache:
+        _MODEL_CACHE[key] = model
+    return model

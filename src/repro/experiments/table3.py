@@ -1,0 +1,171 @@
+"""Table III — Q3: the full model grid (Section V-B).
+
+For each predictor in {Prophet, F, L, C, H} and each data configuration
+in {speed only, speed + additional data}, trains the model with and
+without adversarial training and reports MAE, RMSE and MAPE plus the
+paper's three gains (Eq 9):
+
+* column gain — adversarial vs plain, same data;
+* row gain — additional data vs speed-only, same training mode;
+* diagonal gain — both vs neither.
+
+Prophet has no adversarial mode; its "+Add" variant is given the holiday
+calendar (the only additional information Prophet can consume), exactly
+as the paper configures it (window = 1).
+
+Expected shape (paper): APOTS_H (speed + add, w/ Adv) is the best cell
+overall; adversarial training helps F the most; additional data helps
+every neural model; Prophet is an order of magnitude worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.prophet import Prophet, ProphetForecaster
+from ..data.features import FactorMask
+from ..metrics.errors import all_errors
+from ..metrics.stats import TTestResult, gain, paired_t_test
+from .reporting import render_table
+from .scenario import DEFAULT_SEED, make_dataset, train_model
+
+__all__ = ["Table3Result", "run", "NEURAL_KINDS", "METRICS"]
+
+NEURAL_KINDS = ("F", "L", "C", "H")
+METRICS = ("mae", "rmse", "mape")
+DATA_ROWS = ("speed_only", "speed_plus_add")
+ADV_COLUMNS = ("without_adv", "with_adv")
+
+
+@dataclass
+class Table3Result:
+    """errors[model][data_row][adv_column][metric] plus Prophet cells."""
+
+    errors: dict[str, dict[str, dict[str, dict[str, float]]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def cell(self, model: str, data_row: str, adv: str, metric: str) -> float:
+        return self.errors[model][data_row][adv][metric]
+
+    def column_gain(self, model: str, data_row: str, metric: str) -> float:
+        """Adversarial improvement at fixed data (the per-row Gain column)."""
+        return gain(
+            self.cell(model, data_row, "with_adv", metric),
+            self.cell(model, data_row, "without_adv", metric),
+        )
+
+    def row_gain(self, model: str, adv: str, metric: str) -> float:
+        """Additional-data improvement at fixed training mode."""
+        return gain(
+            self.cell(model, "speed_plus_add", adv, metric),
+            self.cell(model, "speed_only", adv, metric),
+        )
+
+    def diagonal_gain(self, model: str, metric: str) -> float:
+        """Improvement of (add, adv) over (speed-only, plain)."""
+        return gain(
+            self.cell(model, "speed_plus_add", "with_adv", metric),
+            self.cell(model, "speed_only", "without_adv", metric),
+        )
+
+    def best_model(self, metric: str = "mape") -> tuple[str, float]:
+        """The winning (model, value) over all full-configuration cells."""
+        best_name, best_value = "", float("inf")
+        for model in self.errors:
+            value = self.cell(model, "speed_plus_add", "with_adv", metric)
+            if value < best_value:
+                best_name, best_value = model, value
+        return best_name, best_value
+
+    @property
+    def neural_models(self) -> list[str]:
+        """Model names with both training modes (i.e. everything but Prophet)."""
+        return [m for m in self.errors if m != "Prophet"]
+
+    def adversarial_t_test(self, metric: str = "mape") -> TTestResult:
+        """Paired t-test of w/ vs w/o Adv over the 8 neural cells (t(7))."""
+        with_adv, without_adv = [], []
+        for model in self.neural_models:
+            for data_row in DATA_ROWS:
+                with_adv.append(self.cell(model, data_row, "with_adv", metric))
+                without_adv.append(self.cell(model, data_row, "without_adv", metric))
+        return paired_t_test(np.array(with_adv), np.array(without_adv))
+
+    def additional_data_t_test(self, metric: str = "mape") -> TTestResult:
+        """Paired t-test of +Add vs speed-only over the 8 neural cells."""
+        plus, only = [], []
+        for model in self.neural_models:
+            for adv in ADV_COLUMNS:
+                plus.append(self.cell(model, "speed_plus_add", adv, metric))
+                only.append(self.cell(model, "speed_only", adv, metric))
+        return paired_t_test(np.array(plus), np.array(only))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        parts = []
+        models = list(self.errors)
+        for metric in METRICS:
+            headers = ["data \\ model"] + [
+                f"{m} {c}" for m in models for c in ("w/o", "w/", "gain%")
+            ]
+            rows = []
+            for data_row, label in (("speed_only", "Speed only"), ("speed_plus_add", "Speed+Add")):
+                row = [label]
+                for model in models:
+                    without = self.cell(model, data_row, "without_adv", metric)
+                    with_adv = self.cell(model, data_row, "with_adv", metric)
+                    if np.isnan(with_adv):
+                        row += [without, float("nan"), float("nan")]
+                    else:
+                        row += [without, with_adv, self.column_gain(model, data_row, metric)]
+                rows.append(row)
+            parts.append(render_table(headers, rows, title=f"Table III [{metric.upper()}]"))
+        best, value = self.best_model()
+        parts.append(f"best full model: APOTS_{best} with MAPE {value:.2f}")
+        try:
+            parts.append(f"w/ vs w/o Adv (neural, MAPE): {self.adversarial_t_test()}")
+            parts.append(f"+Add vs speed-only (neural, MAPE): {self.additional_data_t_test()}")
+        except ValueError:
+            pass  # grids smaller than the full paper table
+        return "\n\n".join(parts)
+
+
+def _prophet_errors(dataset, use_holidays: bool) -> dict[str, float]:
+    forecaster = ProphetForecaster(Prophet(use_holidays=use_holidays))
+    forecaster.fit(dataset)
+    prediction = forecaster.predict(dataset)
+    truth, _ = dataset.evaluation_arrays("test")
+    return all_errors(prediction, truth)
+
+
+def run(preset: str = "medium", seed: int = DEFAULT_SEED, kinds=NEURAL_KINDS, include_prophet: bool = True) -> Table3Result:
+    """Train the full Table III grid."""
+    result = Table3Result()
+    speed_only = make_dataset(preset, mask=FactorMask.speed_only(), seed=seed)
+    with_add = make_dataset(preset, mask=FactorMask.both(), seed=seed)
+
+    if include_prophet:
+        nan = {m: float("nan") for m in METRICS}
+        result.errors["Prophet"] = {
+            "speed_only": {
+                "without_adv": _prophet_errors(speed_only, use_holidays=False),
+                "with_adv": dict(nan),
+            },
+            "speed_plus_add": {
+                "without_adv": _prophet_errors(with_add, use_holidays=True),
+                "with_adv": dict(nan),
+            },
+        }
+
+    for kind in kinds:
+        result.errors[kind] = {}
+        for data_row, dataset in (("speed_only", speed_only), ("speed_plus_add", with_add)):
+            cells = {}
+            for adv_name, adversarial in (("without_adv", False), ("with_adv", True)):
+                model = train_model(kind, dataset, preset, adversarial=adversarial, seed=seed)
+                report = model.evaluate(dataset)
+                cells[adv_name] = dict(report.overall)
+            result.errors[kind][data_row] = cells
+    return result

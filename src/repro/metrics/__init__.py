@@ -1,0 +1,18 @@
+"""``repro.metrics`` — error metrics, abrupt-change regimes, statistics."""
+
+from .errors import all_errors, mae, mape, rmse
+from .regimes import ABRUPT_THETA, RegimeMasks, classify_regimes
+from .stats import TTestResult, gain, paired_t_test
+
+__all__ = [
+    "all_errors",
+    "mae",
+    "mape",
+    "rmse",
+    "ABRUPT_THETA",
+    "RegimeMasks",
+    "classify_regimes",
+    "TTestResult",
+    "gain",
+    "paired_t_test",
+]

@@ -1,0 +1,55 @@
+"""Error metrics: MAE, RMSE and MAPE, as used in Section V.
+
+All metrics operate on km/h arrays (never the scaled representation).
+MAPE is reported in percent, as in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "mape", "all_errors"]
+
+_MIN_DENOMINATOR = 1e-9
+
+
+def _validate(prediction: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if prediction.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {truth.shape}")
+    if prediction.size == 0:
+        raise ValueError("cannot compute an error metric over zero samples")
+    return prediction, truth
+
+
+def mae(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, truth = _validate(prediction, truth)
+    return float(np.mean(np.abs(prediction - truth)))
+
+
+def rmse(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Root mean squared error."""
+    prediction, truth = _validate(prediction, truth)
+    return float(np.sqrt(np.mean((prediction - truth) ** 2)))
+
+
+def mape(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute percentage error (percent).
+
+    Guards against division by (near-)zero truth values; simulated
+    speeds are clipped above 4 km/h so the guard rarely binds.
+    """
+    prediction, truth = _validate(prediction, truth)
+    denominator = np.maximum(np.abs(truth), _MIN_DENOMINATOR)
+    return float(np.mean(np.abs(prediction - truth) / denominator) * 100.0)
+
+
+def all_errors(prediction: np.ndarray, truth: np.ndarray) -> dict[str, float]:
+    """All three paper metrics in one dict."""
+    return {
+        "mae": mae(prediction, truth),
+        "rmse": rmse(prediction, truth),
+        "mape": mape(prediction, truth),
+    }

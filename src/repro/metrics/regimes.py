@@ -1,0 +1,88 @@
+"""Abrupt-change regime classification (Section V-B, Eq 7/8).
+
+The paper defines *abrupt deceleration* as a relative drop of at least
+``theta`` between the past speed and the present speed, and *abrupt
+acceleration* as a relative rise of at least ``theta``:
+
+    (s_prev - s_now) / s_prev >= theta     (deceleration, Eq 7)
+    (s_prev - s_now) / s_prev <= -theta    (acceleration, Eq 8)
+
+with theta = 0.3.  For a prediction sample, ``s_prev`` is the last
+observed (input) speed and ``s_now`` the target the model must predict —
+the regimes isolate exactly the samples where the model must foresee a
+change it has not yet observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RegimeMasks", "classify_regimes", "ABRUPT_THETA"]
+
+#: The paper's threshold: speeds in the dataset change by at most ~30 %.
+ABRUPT_THETA = 0.3
+
+
+@dataclass(frozen=True)
+class RegimeMasks:
+    """Boolean masks over a sample set, one per paper regime."""
+
+    whole: np.ndarray
+    normal: np.ndarray
+    abrupt_acceleration: np.ndarray
+    abrupt_deceleration: np.ndarray
+
+    def counts(self) -> dict[str, int]:
+        """Number of samples in each regime."""
+        return {
+            "whole": int(self.whole.sum()),
+            "normal": int(self.normal.sum()),
+            "abrupt_acc": int(self.abrupt_acceleration.sum()),
+            "abrupt_dec": int(self.abrupt_deceleration.sum()),
+        }
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "whole": self.whole,
+            "normal": self.normal,
+            "abrupt_acc": self.abrupt_acceleration,
+            "abrupt_dec": self.abrupt_deceleration,
+        }
+
+
+def classify_regimes(
+    last_input_kmh: np.ndarray,
+    target_kmh: np.ndarray,
+    theta: float = ABRUPT_THETA,
+) -> RegimeMasks:
+    """Classify each sample by the change from last input to target.
+
+    Parameters
+    ----------
+    last_input_kmh:
+        Target-road speed at each sample's final input timestep.
+    target_kmh:
+        The true speed the sample predicts.
+    theta:
+        Abrupt-change threshold (paper: 0.3).
+    """
+    last_input_kmh = np.asarray(last_input_kmh, dtype=np.float64)
+    target_kmh = np.asarray(target_kmh, dtype=np.float64)
+    if last_input_kmh.shape != target_kmh.shape:
+        raise ValueError("regime inputs must be aligned")
+    if theta <= 0:
+        raise ValueError("theta must be positive")
+
+    relative_change = (last_input_kmh - target_kmh) / np.maximum(last_input_kmh, 1e-9)
+    deceleration = relative_change >= theta
+    acceleration = relative_change <= -theta
+    whole = np.ones_like(deceleration, dtype=bool)
+    normal = ~(deceleration | acceleration)
+    return RegimeMasks(
+        whole=whole,
+        normal=normal,
+        abrupt_acceleration=acceleration,
+        abrupt_deceleration=deceleration,
+    )

@@ -1,0 +1,53 @@
+"""Activation layers (stateless Module wrappers over Tensor methods)."""
+
+from __future__ import annotations
+
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["ReLU", "Tanh", "Sigmoid", "LeakyReLU", "ELU"]
+
+
+class ReLU(Module):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation ``1 / (1 + exp(-x))``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class ELU(Module):
+    """Exponential linear unit: x for x>0, alpha*(exp(x)-1) otherwise."""
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        from ..ops import where
+
+        return where(x.data > 0, x, (x.exp() - 1.0) * self.alpha)

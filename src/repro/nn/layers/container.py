@@ -1,0 +1,70 @@
+"""Module containers: Sequential and ModuleList."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each one the previous output."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: list[str] = []
+        for index, module in enumerate(modules):
+            name = str(index)
+            self.register_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are registered for training."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._order: list[str] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("ModuleList is a container; call its children directly")

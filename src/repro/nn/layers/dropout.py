@@ -1,0 +1,33 @@
+"""Inverted dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero a fraction ``p`` of activations during training.
+
+    Uses *inverted* dropout (surviving activations scaled by 1/(1-p)) so
+    evaluation is a plain identity.  The mask is drawn from the provided
+    generator for reproducibility.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,93 @@
+"""GRU layers (Cho et al., 2014) — the lighter recurrent alternative.
+
+Several traffic-prediction works the paper cites use GRUs instead of
+LSTMs; providing both lets downstream users swap the recurrent body
+without leaving the substrate.  Gate layout: ``weight_ih``/``weight_hh``
+hold [reset, update, new] blocks of size ``hidden`` each.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import init, ops
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """One GRU step: h' = (1 - z) * n + z * h."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform((3 * hidden_size, input_size), rng, bound))
+        self.weight_hh = Parameter(init.uniform((3 * hidden_size, hidden_size), rng, bound))
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size))
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """Advance one step for a (batch, input_size) input."""
+        hs = self.hidden_size
+        gates_x = x @ self.weight_ih.T + self.bias_ih
+        gates_h = hidden @ self.weight_hh.T + self.bias_hh
+        reset = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        update = (gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs]).sigmoid()
+        new = (gates_x[:, 2 * hs : 3 * hs] + reset * gates_h[:, 2 * hs : 3 * hs]).tanh()
+        return (1.0 - update) * new + update * hidden
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Multi-layer GRU over a (batch, time, features) sequence."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_sizes: int | list[int],
+        num_layers: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if isinstance(hidden_sizes, int):
+            hidden_sizes = [hidden_sizes] * (num_layers or 1)
+        elif num_layers is not None and len(hidden_sizes) != num_layers:
+            raise ValueError("len(hidden_sizes) must equal num_layers")
+        self.input_size = input_size
+        self.hidden_sizes = list(hidden_sizes)
+        sizes = [input_size] + self.hidden_sizes
+        from .container import ModuleList
+
+        self.cells = ModuleList(
+            GRUCell(sizes[i], sizes[i + 1], rng=rng) for i in range(len(self.hidden_sizes))
+        )
+
+    def forward(
+        self, x: Tensor, state: list[Tensor] | None = None
+    ) -> tuple[Tensor, list[Tensor]]:
+        """Return (outputs (B, T, H_last), final hidden per layer)."""
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, time, features), got {x.shape}")
+        batch, steps, _ = x.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        else:
+            state = list(state)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            layer_input = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                state[layer] = cell(layer_input, state[layer])
+                layer_input = state[layer]
+            outputs.append(layer_input)
+        return ops.stack(outputs, axis=1), state

@@ -1,0 +1,83 @@
+"""Normalisation layers: BatchNorm1d / BatchNorm2d / LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm"]
+
+
+class _BatchNormBase(Module):
+    """Shared machinery: learnable affine + running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def _normalise(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+            # Differentiable statistics for the backward pass.
+            mean_t = x.mean(axis=axes, keepdims=True)
+            centred = x - mean_t
+            var_t = (centred * centred).mean(axis=axes, keepdims=True)
+            inv_std = (var_t + self.eps) ** -0.5
+            normalised = centred * inv_std
+        else:
+            mean = self.running_mean.reshape(shape)
+            std = np.sqrt(self.running_var.reshape(shape) + self.eps)
+            normalised = (x - Tensor(mean)) * Tensor(1.0 / std)
+        return normalised * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch normalisation over a (N, C) or (N, C, L) input."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            return self._normalise(x, (0,), (1, self.num_features))
+        if x.ndim == 3:
+            return self._normalise(x, (0, 2), (1, self.num_features, 1))
+        raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got {x.ndim}-D")
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch normalisation over a (N, C, H, W) input."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.ndim}-D")
+        return self._normalise(x, (0, 2, 3), (1, self.num_features, 1, 1))
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing ``normalized_shape`` axes."""
+
+    def __init__(self, normalized_shape: int | tuple[int, ...], eps: float = 1e-5):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.weight = Parameter(np.ones(self.normalized_shape))
+        self.bias = Parameter(np.zeros(self.normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(x.ndim - len(self.normalized_shape), x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=axes, keepdims=True)
+        normalised = centred * (var + self.eps) ** -0.5
+        return normalised * self.weight + self.bias

@@ -1,0 +1,19 @@
+"""``repro.routing`` — the ITS application layer the paper motivates.
+
+Travel-time integration over the corridor and stay/divert route
+advisories scored against ground truth.
+"""
+
+from .advisory import AdvisoryOutcome, Detour, evaluate_advisories
+from .fields import predicted_speed_field
+from .travel_time import corridor_travel_times, segment_times_minutes, traverse_time_minutes
+
+__all__ = [
+    "AdvisoryOutcome",
+    "Detour",
+    "evaluate_advisories",
+    "predicted_speed_field",
+    "corridor_travel_times",
+    "segment_times_minutes",
+    "traverse_time_minutes",
+]

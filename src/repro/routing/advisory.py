@@ -1,0 +1,119 @@
+"""Route advisory: stay on the expressway or divert?
+
+A minimal but realistic ITS decision layer on top of speed forecasts:
+for each departure the system compares the *predicted* corridor travel
+time against a fixed-speed detour and advises DIVERT when the corridor
+is forecast to be slower by a margin.  Advisory quality is scored
+against what the *real* speeds turn out to be — exactly how a
+route-guidance deployment would measure a prediction model's value
+(the paper's stated motivation for APOTS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traffic.types import TrafficSeries
+from .travel_time import traverse_time_minutes
+
+__all__ = ["Detour", "AdvisoryOutcome", "evaluate_advisories"]
+
+
+@dataclass(frozen=True)
+class Detour:
+    """The alternative route: a fixed length at a steady speed.
+
+    Arterial detours are longer but rarely congested; modelling them as
+    constant-speed keeps the decision signal purely about the corridor
+    forecast.
+    """
+
+    length_km: float
+    speed_kmh: float = 55.0
+
+    def __post_init__(self):
+        if self.length_km <= 0 or self.speed_kmh <= 0:
+            raise ValueError("detour length and speed must be positive")
+
+    @property
+    def time_minutes(self) -> float:
+        return self.length_km / self.speed_kmh * 60.0
+
+
+@dataclass
+class AdvisoryOutcome:
+    """Aggregate quality of a batch of stay/divert decisions."""
+
+    decisions: np.ndarray  # True = divert
+    optimal: np.ndarray  # True = divert was actually faster
+    minutes_saved: float  # vs always staying on the corridor
+    minutes_possible: float  # an oracle's saving
+    accuracy: float
+
+    @property
+    def regret_minutes(self) -> float:
+        """Oracle saving the advisory failed to capture."""
+        return self.minutes_possible - self.minutes_saved
+
+    def render(self) -> str:
+        n = len(self.decisions)
+        return (
+            f"advisories: {n}, divert rate {self.decisions.mean():.0%}, "
+            f"accuracy {self.accuracy:.0%}, saved {self.minutes_saved:.1f} min "
+            f"of {self.minutes_possible:.1f} min possible"
+        )
+
+
+def evaluate_advisories(
+    series: TrafficSeries,
+    predicted_field: np.ndarray,
+    start_steps: np.ndarray,
+    detour: Detour,
+    margin_minutes: float = 1.0,
+) -> AdvisoryOutcome:
+    """Score stay/divert advice driven by a predicted speed field.
+
+    Parameters
+    ----------
+    series:
+        Ground-truth corridor (real speeds decide actual outcomes).
+    predicted_field:
+        (num_segments, T) km/h forecast used for the decisions.
+    start_steps:
+        Departure step indices to advise on.
+    detour:
+        The alternative route.
+    margin_minutes:
+        Advise DIVERT only when the predicted corridor time exceeds the
+        detour by at least this margin (hysteresis against noise).
+    """
+    start_steps = np.asarray(start_steps, dtype=int)
+    decisions = np.zeros(len(start_steps), dtype=bool)
+    optimal = np.zeros(len(start_steps), dtype=bool)
+    chosen_minutes = np.zeros(len(start_steps))
+    best_minutes = np.zeros(len(start_steps))
+    stay_minutes = np.zeros(len(start_steps))
+
+    for i, step in enumerate(start_steps):
+        predicted_stay = traverse_time_minutes(
+            series.corridor, predicted_field, step, series.interval_minutes
+        )
+        real_stay = traverse_time_minutes(
+            series.corridor, series.speeds, step, series.interval_minutes
+        )
+        divert = predicted_stay > detour.time_minutes + margin_minutes
+        decisions[i] = divert
+        optimal[i] = real_stay > detour.time_minutes
+        chosen_minutes[i] = detour.time_minutes if divert else real_stay
+        best_minutes[i] = min(real_stay, detour.time_minutes)
+        stay_minutes[i] = real_stay
+
+    return AdvisoryOutcome(
+        decisions=decisions,
+        optimal=optimal,
+        minutes_saved=float(stay_minutes.sum() - chosen_minutes.sum()),
+        minutes_possible=float(stay_minutes.sum() - best_minutes.sum()),
+        accuracy=float((decisions == optimal).mean()),
+    )

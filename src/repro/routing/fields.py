@@ -1,0 +1,40 @@
+"""Building predicted speed fields for the routing layer.
+
+APOTS forecasts the *target road*; the advisory needs a full
+(segments x time) field.  :func:`predicted_speed_field` substitutes the
+model's target-road forecasts into a copy of the observed field — the
+deployment situation where one studied link is forecast and the rest of
+the corridor is read from live detectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import APOTS
+from ..data.dataset import TrafficDataset
+
+__all__ = ["predicted_speed_field"]
+
+
+def predicted_speed_field(
+    model: APOTS,
+    dataset: TrafficDataset,
+    subsets: tuple[str, ...] = ("train", "validation", "test"),
+) -> np.ndarray:
+    """Return series speeds with the target row replaced by forecasts.
+
+    Every window in the chosen subsets contributes its prediction at its
+    target step; steps no window covers keep the observed speed.
+    """
+    series = dataset.series
+    field = series.speeds.copy()
+    target_row = series.corridor.target_index
+    for subset in subsets:
+        indices = dataset.subset(subset)
+        if len(indices) == 0:
+            continue
+        predictions = model.predict(dataset, subset=subset)
+        steps = dataset.features.target_steps[indices]
+        field[target_row, steps] = predictions
+    return field

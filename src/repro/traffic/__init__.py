@@ -1,0 +1,47 @@
+"""``repro.traffic`` — synthetic Gyeongbu-corridor traffic substrate.
+
+Stands in for the proprietary Hyundai Motor Company dataset: a linear
+expressway corridor with rush hours, weather, accidents/construction and
+the Korean holiday calendar of the paper's study window.
+"""
+
+from .calendar import (
+    KOREAN_HOLIDAYS_2018,
+    STUDY_END,
+    STUDY_START,
+    DayType,
+    day_type_flags,
+    is_holiday,
+    is_weekend,
+    timeline,
+)
+from .incidents import Incident, incident_masks, sample_incidents
+from .io import load_series, save_series, series_from_arrays
+from .simulator import TrafficSimulator, simulate
+from .types import Corridor, RoadSegment, SimulationConfig, TrafficSeries
+from .weather import WeatherModel, generate_weather
+
+__all__ = [
+    "KOREAN_HOLIDAYS_2018",
+    "STUDY_END",
+    "STUDY_START",
+    "DayType",
+    "day_type_flags",
+    "is_holiday",
+    "is_weekend",
+    "timeline",
+    "Incident",
+    "load_series",
+    "save_series",
+    "series_from_arrays",
+    "incident_masks",
+    "sample_incidents",
+    "TrafficSimulator",
+    "simulate",
+    "Corridor",
+    "RoadSegment",
+    "SimulationConfig",
+    "TrafficSeries",
+    "WeatherModel",
+    "generate_weather",
+]

@@ -1,0 +1,103 @@
+"""Korean calendar utilities for the study period (July – October 2018).
+
+The paper's non-speed "time" factor encodes the hour of day and a day
+type among {weekday, holiday, day before holiday, day after holiday};
+its dataset "contains a small number of holidays (only 7 days)".  The
+official Korean public holidays in Jul–Oct 2018 are exactly seven days,
+reproduced below.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "KOREAN_HOLIDAYS_2018",
+    "STUDY_START",
+    "STUDY_END",
+    "DayType",
+    "day_type_flags",
+    "is_holiday",
+    "is_weekend",
+    "timeline",
+]
+
+#: Official Korean public holidays falling in the study window (7 days).
+KOREAN_HOLIDAYS_2018: frozenset[dt.date] = frozenset(
+    {
+        dt.date(2018, 8, 15),  # Liberation Day
+        dt.date(2018, 9, 23),  # Chuseok eve
+        dt.date(2018, 9, 24),  # Chuseok
+        dt.date(2018, 9, 25),  # Chuseok day 2
+        dt.date(2018, 9, 26),  # Chuseok substitute holiday
+        dt.date(2018, 10, 3),  # National Foundation Day
+        dt.date(2018, 10, 9),  # Hangul Day
+    }
+)
+
+#: The paper's data covers 122 days: 2018-07-01 .. 2018-10-30.
+STUDY_START = dt.date(2018, 7, 1)
+STUDY_END = dt.date(2018, 10, 30)
+
+
+def is_holiday(day: dt.date, holidays: frozenset[dt.date] = KOREAN_HOLIDAYS_2018) -> bool:
+    """True when ``day`` is an official public holiday."""
+    return day in holidays
+
+
+def is_weekend(day: dt.date) -> bool:
+    """True for Saturday or Sunday."""
+    return day.weekday() >= 5
+
+
+@dataclass(frozen=True)
+class DayType:
+    """The paper's four day-type indicator bits for one calendar day."""
+
+    weekday: bool
+    holiday: bool
+    day_before_holiday: bool
+    day_after_holiday: bool
+
+    def as_array(self) -> np.ndarray:
+        """Return the [weekday, holiday, before, after] 0/1 vector."""
+        return np.array(
+            [self.weekday, self.holiday, self.day_before_holiday, self.day_after_holiday],
+            dtype=np.float64,
+        )
+
+
+def day_type_flags(day: dt.date, holidays: frozenset[dt.date] = KOREAN_HOLIDAYS_2018) -> DayType:
+    """Classify ``day`` per the paper's example encoding.
+
+    A Wednesday before Independence Day is [1, 0, 1, 0]: several bits may
+    be set at once.  ``weekday`` means Monday–Friday and not a holiday.
+    """
+    holiday = is_holiday(day, holidays)
+    weekday = day.weekday() < 5 and not holiday
+    before = is_holiday(day + dt.timedelta(days=1), holidays)
+    after = is_holiday(day - dt.timedelta(days=1), holidays)
+    return DayType(weekday=weekday, holiday=holiday, day_before_holiday=before, day_after_holiday=after)
+
+
+def timeline(
+    start: dt.date,
+    num_days: int,
+    interval_minutes: int = 5,
+) -> list[dt.datetime]:
+    """Return every timestamp of a ``num_days`` study at a fixed cadence.
+
+    The paper samples speeds every five minutes, so a day yields
+    ``24 * 60 / 5 = 288`` timestamps.
+    """
+    if num_days <= 0:
+        raise ValueError("num_days must be positive")
+    if (24 * 60) % interval_minutes != 0:
+        raise ValueError("interval must divide the day evenly")
+    steps_per_day = (24 * 60) // interval_minutes
+    base = dt.datetime.combine(start, dt.time())
+    delta = dt.timedelta(minutes=interval_minutes)
+    return [base + i * delta for i in range(num_days * steps_per_day)]

@@ -1,0 +1,160 @@
+"""Serialisation and ingestion of traffic series.
+
+Two use cases:
+
+* **Checkpointing simulations** — :func:`save_series` / :func:`load_series`
+  round-trip a :class:`TrafficSeries` through a single ``.npz`` file, so
+  expensive simulations (or slow data preprocessing) run once.
+* **Bringing your own data** — :func:`series_from_arrays` builds a
+  TrafficSeries from plain numpy arrays (speed matrix + optional
+  channels), which is all a real detector-log pipeline needs to feed
+  APOTS.  Missing channels are filled with neutral values, and the
+  calendar channels are derived from the timestamps.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .calendar import KOREAN_HOLIDAYS_2018, day_type_flags
+from .types import Corridor, RoadSegment, TrafficSeries
+
+__all__ = ["save_series", "load_series", "series_from_arrays"]
+
+
+def save_series(series: TrafficSeries, path: str | Path) -> Path:
+    """Write a TrafficSeries to a ``.npz`` archive (single file)."""
+    path = Path(path)
+    corridor_manifest = {
+        "target_index": series.corridor.target_index,
+        "segments": [
+            {
+                "segment_id": s.segment_id,
+                "name": s.name,
+                "length_km": s.length_km,
+                "free_flow_kmh": s.free_flow_kmh,
+                "capacity_vph": s.capacity_vph,
+            }
+            for s in series.corridor.segments
+        ],
+    }
+    timestamps = np.array([t.isoformat() for t in series.timestamps])
+    np.savez_compressed(
+        path,
+        speeds=series.speeds,
+        temperature=series.temperature,
+        precipitation=series.precipitation,
+        events=series.events,
+        hours=series.hours,
+        day_types=series.day_types,
+        timestamps=timestamps,
+        interval_minutes=np.array(series.interval_minutes),
+        corridor=np.array(json.dumps(corridor_manifest)),
+    )
+    return path
+
+
+def load_series(path: str | Path) -> TrafficSeries:
+    """Load a TrafficSeries written by :func:`save_series`."""
+    with np.load(Path(path)) as archive:
+        manifest = json.loads(str(archive["corridor"]))
+        corridor = Corridor(
+            segments=tuple(RoadSegment(**segment) for segment in manifest["segments"]),
+            target_index=manifest["target_index"],
+        )
+        timestamps = [dt.datetime.fromisoformat(t) for t in archive["timestamps"]]
+        return TrafficSeries(
+            corridor=corridor,
+            speeds=archive["speeds"],
+            temperature=archive["temperature"],
+            precipitation=archive["precipitation"],
+            events=archive["events"],
+            hours=archive["hours"],
+            day_types=archive["day_types"],
+            timestamps=timestamps,
+            interval_minutes=int(archive["interval_minutes"]),
+        )
+
+
+def series_from_arrays(
+    speeds: np.ndarray,
+    start: dt.datetime,
+    interval_minutes: int = 5,
+    target_index: int | None = None,
+    temperature: np.ndarray | None = None,
+    precipitation: np.ndarray | None = None,
+    events: np.ndarray | None = None,
+    free_flow_kmh: float | None = None,
+    holidays: frozenset[dt.date] = KOREAN_HOLIDAYS_2018,
+) -> TrafficSeries:
+    """Build a TrafficSeries from raw detector data.
+
+    Parameters
+    ----------
+    speeds:
+        (num_segments, T) speed matrix in km/h — the only mandatory data.
+    start:
+        Timestamp of the first column.
+    target_index:
+        Which row is the studied road (middle row by default).
+    temperature, precipitation, events:
+        Optional channels; filled with 20 deg C / 0 mm / no events when a
+        deployment has no weather or incident feed.
+    free_flow_kmh:
+        Free-flow speed for the synthesised corridor metadata; defaults
+        to the 95th percentile of the observed speeds.
+    holidays:
+        Holiday calendar used for the day-type bits.
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    if speeds.ndim != 2:
+        raise ValueError("speeds must be a (num_segments, T) matrix")
+    num_segments, total = speeds.shape
+    if target_index is None:
+        target_index = num_segments // 2
+
+    if free_flow_kmh is None:
+        free_flow_kmh = float(np.percentile(speeds, 95))
+    free_flow_kmh = float(np.clip(free_flow_kmh, 41.0, 129.0))
+    segments = tuple(
+        RoadSegment(
+            segment_id=i,
+            name=f"user-{i:02d}",
+            length_km=2.0,
+            free_flow_kmh=free_flow_kmh,
+            capacity_vph=4000.0,
+        )
+        for i in range(num_segments)
+    )
+    corridor = Corridor(segments=segments, target_index=target_index)
+
+    delta = dt.timedelta(minutes=interval_minutes)
+    timestamps = [start + i * delta for i in range(total)]
+    hours = np.array([t.hour for t in timestamps], dtype=np.float64)
+    day_types = np.stack(
+        [day_type_flags(t.date(), holidays).as_array() for t in timestamps]
+    )
+
+    def _channel(values, default, shape):
+        if values is None:
+            return np.full(shape, default, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != shape:
+            raise ValueError(f"channel shape {values.shape} does not match {shape}")
+        return values
+
+    return TrafficSeries(
+        corridor=corridor,
+        speeds=speeds,
+        temperature=_channel(temperature, 20.0, (total,)),
+        precipitation=_channel(precipitation, 0.0, (total,)),
+        events=_channel(events, 0.0, (num_segments, total)),
+        hours=hours,
+        day_types=day_types,
+        timestamps=timestamps,
+        interval_minutes=interval_minutes,
+    )

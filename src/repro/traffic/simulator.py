@@ -1,0 +1,242 @@
+"""The corridor speed-field simulator.
+
+Produces the synthetic stand-in for the Hyundai Motor Company dataset:
+five-minute speeds on a linear expressway corridor, together with the
+weather, event and calendar channels APOTS consumes.
+
+The generative story, per timestep and segment:
+
+1. **Demand** follows a double-peaked daily profile (morning/evening rush
+   on weekdays, flatter and lighter on weekends/holidays) with slowly
+   varying AR(1) noise.  Rain adds a little demand (slower, denser flow).
+2. **Congestion law** maps demand to speed through a smooth
+   fundamental-diagram-like curve: near free flow below the knee, rapidly
+   collapsing above it.  This produces the sudden rush-hour drops of
+   Fig 1a.
+3. **Weather** multiplies speed down with rain intensity (Fig 1b).
+4. **Incidents** impose severity factors with recovery ramps and a
+   damped, delayed upstream shockwave (Fig 1c).
+5. **Spatial coupling** smooths each segment toward its neighbours, and
+   AR(1) measurement noise is added before clipping to physical limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .calendar import day_type_flags, is_weekend, timeline
+from .incidents import incident_masks, sample_incidents
+from .types import Corridor, SimulationConfig, TrafficSeries
+from .weather import WeatherModel
+
+__all__ = ["TrafficSimulator", "simulate"]
+
+
+class TrafficSimulator:
+    """Generates a :class:`TrafficSeries` from a config and corridor."""
+
+    def __init__(self, config: SimulationConfig | None = None, corridor: Corridor | None = None):
+        self.config = config if config is not None else SimulationConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.corridor = corridor if corridor is not None else Corridor.gyeongbu(rng=rng)
+
+    # ------------------------------------------------------------------
+    # Demand profile
+    # ------------------------------------------------------------------
+    def demand_profile(self, hour_fraction: np.ndarray, weekday: bool, holiday: bool) -> np.ndarray:
+        """Deterministic demand fraction of capacity for given clock times.
+
+        Weekdays show two sharp rush-hour peaks; weekends and holidays a
+        single broad midday bulge at lower level.
+        """
+        cfg = self.config
+        base = np.full_like(hour_fraction, cfg.base_demand)
+        # Overnight lull.
+        night = np.exp(-0.5 * ((hour_fraction - 3.5) / 2.0) ** 2)
+        base = base * (1.0 - 0.55 * night)
+        if weekday and not holiday:
+            for peak_hour in (cfg.morning_peak_hour, cfg.evening_peak_hour):
+                bump = np.exp(-0.5 * ((hour_fraction - peak_hour) / cfg.peak_width_hours) ** 2)
+                base = base + (cfg.peak_demand - cfg.base_demand) * bump
+        else:
+            scale = cfg.holiday_demand_scale if holiday else cfg.weekend_demand_scale
+            midday = np.exp(-0.5 * ((hour_fraction - 13.0) / 3.5) ** 2)
+            base = scale * (base + 0.42 * midday)
+        return np.clip(base, 0.02, 1.15)
+
+    def congestion_speed_factor(self, demand: np.ndarray) -> np.ndarray:
+        """Map demand fraction to a multiplicative speed factor in (0, 1].
+
+        Below the knee traffic flows near free speed; above it the factor
+        collapses steeply (the source of abrupt rush-hour decelerations).
+        """
+        cfg = self.config
+        ratio = np.maximum(demand, 0.0) / cfg.congestion_knee
+        return 1.0 / (1.0 + ratio**cfg.congestion_gamma * 0.9)
+
+    def _flash_congestion(
+        self,
+        demand: np.ndarray,
+        num_segments: int,
+        total: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sudden short slowdowns with instant onset and release.
+
+        Strikes only while demand is above ``flash_demand_threshold``
+        (dense traffic is where stop-and-go waves form).  The sharp edges
+        of these episodes are the dominant source of the abrupt
+        acceleration/deceleration samples the paper evaluates on.
+        """
+        cfg = self.config
+        factor = np.ones((num_segments, total))
+        expected = cfg.flash_rate_per_day * cfg.num_days
+        count = rng.poisson(expected)
+        dense_steps = np.flatnonzero(demand >= cfg.flash_demand_threshold)
+        if dense_steps.size == 0 or count == 0:
+            return factor
+        starts = rng.choice(dense_steps, size=count)
+        for start in starts:
+            if rng.random() < cfg.flash_target_bias:
+                seg = self.corridor.target_index
+            else:
+                seg = int(rng.integers(0, num_segments))
+            duration = int(
+                rng.integers(cfg.flash_duration_steps_low, cfg.flash_duration_steps_high + 1)
+            )
+            severity = float(rng.uniform(cfg.flash_severity_low, cfg.flash_severity_high))
+            stop = min(start + duration, total)
+            factor[seg, start:stop] = np.minimum(factor[seg, start:stop], severity)
+            # Mild spillback to the immediate upstream neighbour.
+            if seg - 1 >= 0 and start + 1 < total:
+                neighbour_stop = min(stop + 1, total)
+                damped = 1.0 - 0.45 * (1.0 - severity)
+                factor[seg - 1, start + 1 : neighbour_stop] = np.minimum(
+                    factor[seg - 1, start + 1 : neighbour_stop], damped
+                )
+        return factor
+
+    # ------------------------------------------------------------------
+    def run(self) -> TrafficSeries:
+        """Generate the full speed field and auxiliary channels."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        stamps = timeline(cfg.start_date, cfg.num_days, cfg.interval_minutes)
+        total = len(stamps)
+        num_segments = len(self.corridor)
+
+        # Calendar channels.
+        hours = np.array([s.hour for s in stamps], dtype=np.float64)
+        hour_fraction = np.array([s.hour + s.minute / 60.0 for s in stamps])
+        day_types = np.empty((total, 4))
+        weekday_mask = np.empty(total, dtype=bool)
+        holiday_mask = np.empty(total, dtype=bool)
+        steps_per_day = cfg.steps_per_day
+        for day_index in range(cfg.num_days):
+            date = stamps[day_index * steps_per_day].date()
+            flags = day_type_flags(date, cfg.holidays)
+            sl = slice(day_index * steps_per_day, (day_index + 1) * steps_per_day)
+            day_types[sl] = flags.as_array()
+            weekday_mask[sl] = date.weekday() < 5 and not flags.holiday
+            holiday_mask[sl] = flags.holiday or is_weekend(date)
+
+        # Weather.
+        weather = WeatherModel(interval_minutes=cfg.interval_minutes)
+        temperature, precipitation = weather.generate(stamps, rng)
+
+        # Demand per timestep (same for all segments up to noise).
+        demand = np.empty(total)
+        for day_index in range(cfg.num_days):
+            sl = slice(day_index * steps_per_day, (day_index + 1) * steps_per_day)
+            weekday = bool(weekday_mask[sl][0])
+            holiday = bool(holiday_mask[sl][0]) and not is_weekend(
+                stamps[day_index * steps_per_day].date()
+            )
+            is_off = not weekday
+            demand[sl] = self.demand_profile(hour_fraction[sl], weekday=not is_off, holiday=holiday)
+
+        # Rain adds demand-side friction.
+        rain_intensity = np.clip(precipitation / 1.0, 0.0, 1.0)
+        demand = demand + cfg.rain_demand_boost * rain_intensity
+
+        # AR(1) demand noise shared across the corridor (regional fluctuation).
+        noise = np.empty(total)
+        level = 0.0
+        for i in range(total):
+            level = cfg.demand_noise_rho * level + rng.normal(0.0, cfg.demand_noise_std)
+            noise[i] = level
+        demand = np.clip(demand + noise, 0.02, 1.2)
+
+        # Per-segment demand variation (on/off-ramps between segments).
+        segment_bias = rng.normal(0.0, 0.03, size=num_segments)
+
+        # Incidents.
+        incidents = sample_incidents(cfg, num_segments, rng, self.corridor.target_index)
+        incident_factor, event_flags = incident_masks(
+            incidents,
+            num_segments,
+            total,
+            upstream_decay=cfg.upstream_propagation_decay,
+            delay_steps=cfg.propagation_delay_steps,
+        )
+
+        # Rain speed factor: heavy rain multiplies speed toward rain_speed_factor.
+        rain_factor = 1.0 - (1.0 - cfg.rain_speed_factor) * rain_intensity
+
+        # Flash congestion: sudden short slowdowns that release instantly.
+        flash_factor = self._flash_congestion(demand, num_segments, total, rng)
+
+        # Assemble the speed field.
+        free_flow = np.array([s.free_flow_kmh for s in self.corridor.segments])
+        speeds = np.empty((num_segments, total))
+        for seg in range(num_segments):
+            seg_demand = np.clip(demand + segment_bias[seg], 0.02, 1.2)
+            factor = self.congestion_speed_factor(seg_demand)
+            speeds[seg] = (
+                free_flow[seg] * factor * rain_factor * incident_factor[seg] * flash_factor[seg]
+            )
+
+        # Spatial smoothing: each segment pulled toward neighbours (queues leak).
+        smoothed = speeds.copy()
+        for seg in range(num_segments):
+            neighbours = [s for s in (seg - 1, seg + 1) if 0 <= s < num_segments]
+            mean_neighbour = np.mean([speeds[s] for s in neighbours], axis=0)
+            smoothed[seg] = 0.82 * speeds[seg] + 0.18 * mean_neighbour
+        speeds = smoothed
+
+        # AR(1) measurement noise per segment.
+        for seg in range(num_segments):
+            level = 0.0
+            ar_noise = np.empty(total)
+            innovations = rng.normal(0.0, cfg.speed_noise_std, size=total)
+            for i in range(total):
+                level = cfg.speed_noise_rho * level + innovations[i]
+                ar_noise[i] = level
+            speeds[seg] = speeds[seg] + ar_noise
+
+        # Mild temporal smoothing so routine 5-min steps stay well within
+        # +-30 %; genuine shocks (flash congestion, accident onsets) keep
+        # most of their amplitude (matching the paper's reported maximum).
+        kernel = np.array([0.08, 0.84, 0.08])
+        for seg in range(num_segments):
+            padded = np.pad(speeds[seg], 1, mode="edge")
+            speeds[seg] = np.convolve(padded, kernel, mode="valid")
+
+        speeds = np.clip(speeds, cfg.min_speed_kmh, cfg.max_speed_kmh)
+
+        return TrafficSeries(
+            corridor=self.corridor,
+            speeds=speeds,
+            temperature=temperature,
+            precipitation=precipitation,
+            events=event_flags,
+            hours=hours,
+            day_types=day_types,
+            timestamps=stamps,
+            interval_minutes=cfg.interval_minutes,
+        )
+
+
+def simulate(config: SimulationConfig | None = None, corridor: Corridor | None = None) -> TrafficSeries:
+    """One-call convenience wrapper: build a simulator and run it."""
+    return TrafficSimulator(config=config, corridor=corridor).run()

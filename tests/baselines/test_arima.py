@@ -1,0 +1,48 @@
+"""Tests for the AR(p) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ARPredictor
+from repro.metrics import mape
+
+
+class TestARPredictor:
+    def test_beats_climatology(self, tiny_dataset):
+        model = ARPredictor(order=6).fit(tiny_dataset)
+        prediction = model.predict(tiny_dataset)
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        constant = np.full_like(truth, truth.mean())
+        assert mape(prediction, truth) < mape(constant, truth)
+
+    def test_close_to_persistence_quality(self, tiny_dataset):
+        """A fitted AR(6) should do at least as well as raw persistence."""
+        from repro.baselines import LastValueBaseline
+
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        ar_mape = mape(ARPredictor(order=6).fit(tiny_dataset).predict(tiny_dataset), truth)
+        last_mape = mape(LastValueBaseline().fit(tiny_dataset).predict(tiny_dataset), truth)
+        assert ar_mape <= last_mape * 1.1
+
+    def test_prediction_shape(self, tiny_dataset):
+        model = ARPredictor().fit(tiny_dataset)
+        assert model.predict(tiny_dataset).shape == (len(tiny_dataset.split.test),)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ARPredictor(order=0)
+
+    def test_order_exceeding_alpha(self, tiny_dataset):
+        model = ARPredictor(order=99)
+        with pytest.raises(ValueError, match="alpha"):
+            model.fit(tiny_dataset)
+
+    def test_predict_before_fit(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            ARPredictor().predict(tiny_dataset)
+
+    def test_coefficients_weight_recent_lags(self, tiny_dataset):
+        """On an AR-like smooth series the first lag dominates."""
+        model = ARPredictor(order=6).fit(tiny_dataset)
+        coefficients = model._coefficients[1:]  # skip intercept
+        assert abs(coefficients[0]) > abs(coefficients[-1])

@@ -1,0 +1,69 @@
+"""Tests for the cGAN baseline (the paper's named future-work comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CGANConfig, CGANPredictor
+from repro.metrics import mape
+
+
+def small_config(**overrides):
+    defaults = dict(
+        noise_dim=4,
+        generator_widths=(16, 8),
+        discriminator_widths=(16, 8),
+        epochs=2,
+        batch_size=32,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return CGANConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CGANConfig()
+
+    @pytest.mark.parametrize("overrides", [{"noise_dim": 0}, {"epochs": 0}, {"batch_size": 0}])
+    def test_invalid(self, overrides):
+        with pytest.raises(ValueError):
+            small_config(**overrides)
+
+
+class TestTraining:
+    def test_fit_predict_shapes(self, tiny_dataset):
+        model = CGANPredictor(small_config()).fit(tiny_dataset)
+        prediction = model.predict(tiny_dataset)
+        assert prediction.shape == (len(tiny_dataset.split.test),)
+        assert np.all(np.isfinite(prediction))
+
+    def test_predictions_in_kmh_range(self, tiny_dataset):
+        model = CGANPredictor(small_config()).fit(tiny_dataset)
+        prediction = model.predict(tiny_dataset)
+        assert prediction.mean() > 5.0  # km/h scale, not [0, 1]
+
+    def test_predict_before_fit(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            CGANPredictor(small_config()).predict(tiny_dataset)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        a = CGANPredictor(small_config()).fit(tiny_dataset).predict(tiny_dataset)
+        b = CGANPredictor(small_config()).fit(tiny_dataset).predict(tiny_dataset)
+        np.testing.assert_allclose(a, b)
+
+    def test_supervised_anchor_improves_accuracy(self, tiny_dataset):
+        """With a pure adversarial objective the regression is weaker."""
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        anchored = CGANPredictor(small_config(mse_weight=1.0, epochs=4)).fit(tiny_dataset)
+        pure = CGANPredictor(small_config(mse_weight=0.0, epochs=4)).fit(tiny_dataset)
+        anchored_mape = mape(anchored.predict(tiny_dataset), truth)
+        pure_mape = mape(pure.predict(tiny_dataset), truth)
+        assert anchored_mape < pure_mape
+
+    def test_sampling_averages_draws(self, tiny_dataset):
+        config = small_config(num_prediction_samples=1)
+        one = CGANPredictor(config).fit(tiny_dataset).predict(tiny_dataset)
+        config_many = small_config(num_prediction_samples=8)
+        many = CGANPredictor(config_many).fit(tiny_dataset).predict(tiny_dataset)
+        # Averaging over draws reduces the sampling spread.
+        assert np.std(np.diff(many)) <= np.std(np.diff(one)) * 1.5

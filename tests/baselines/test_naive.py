@@ -1,0 +1,48 @@
+"""Tests for naive baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HistoricalAverageBaseline, LastValueBaseline
+from repro.metrics import mape
+
+
+class TestLastValue:
+    def test_predicts_last_input(self, tiny_dataset):
+        baseline = LastValueBaseline().fit(tiny_dataset)
+        prediction = baseline.predict(tiny_dataset)
+        indices = tiny_dataset.split.test
+        np.testing.assert_allclose(prediction, tiny_dataset.features.last_input_kmh[indices])
+
+    def test_reasonable_error(self, tiny_dataset):
+        baseline = LastValueBaseline().fit(tiny_dataset)
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        assert mape(baseline.predict(tiny_dataset), truth) < 15.0
+
+    def test_fit_returns_self(self, tiny_dataset):
+        baseline = LastValueBaseline()
+        assert baseline.fit(tiny_dataset) is baseline
+
+
+class TestHistoricalAverage:
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            HistoricalAverageBaseline().predict(tiny_dataset)
+
+    def test_captures_daily_pattern(self, tiny_dataset):
+        baseline = HistoricalAverageBaseline().fit(tiny_dataset)
+        prediction = baseline.predict(tiny_dataset)
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        # Beats a constant global mean.
+        constant = np.full_like(truth, truth.mean())
+        assert mape(prediction, truth) < mape(constant, truth)
+
+    def test_prediction_shape(self, tiny_dataset):
+        baseline = HistoricalAverageBaseline().fit(tiny_dataset)
+        assert baseline.predict(tiny_dataset).shape == (len(tiny_dataset.split.test),)
+
+    def test_unseen_slot_falls_back_to_global_mean(self, tiny_dataset):
+        baseline = HistoricalAverageBaseline().fit(tiny_dataset)
+        baseline._table = {}  # simulate nothing learned for these keys
+        prediction = baseline.predict(tiny_dataset)
+        np.testing.assert_allclose(prediction, baseline._global_mean)

@@ -1,0 +1,99 @@
+"""Tests for the Prophet-style additive baseline."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.baselines import Prophet, ProphetForecaster
+from repro.metrics import mape
+from repro.traffic import timeline
+
+
+def synthetic_series(days=14, amplitude=20.0, trend=0.0, noise=0.0, seed=0):
+    """Daily sinusoid + linear trend series at 5-minute cadence."""
+    stamps = timeline(dt.date(2018, 7, 1), days)
+    rng = np.random.default_rng(seed)
+    day_frac = np.array([(s.hour * 60 + s.minute) / 1440.0 for s in stamps])
+    t = np.arange(len(stamps)) / len(stamps)
+    values = 60.0 + amplitude * np.sin(2 * np.pi * day_frac) + trend * t
+    values = values + rng.normal(0.0, noise, size=len(values))
+    return stamps, values
+
+
+class TestFitQuality:
+    def test_learns_daily_seasonality(self):
+        stamps, values = synthetic_series()
+        split = len(stamps) * 3 // 4
+        model = Prophet().fit(stamps[:split], values[:split])
+        prediction = model.predict(stamps[split:])
+        assert mape(prediction, values[split:]) < 3.0
+
+    def test_learns_linear_trend(self):
+        stamps, values = synthetic_series(amplitude=0.0, trend=30.0)
+        split = len(stamps) * 3 // 4
+        model = Prophet().fit(stamps[:split], values[:split])
+        prediction = model.predict(stamps[split:])
+        assert mape(prediction, values[split:]) < 5.0
+
+    def test_robust_to_noise(self):
+        stamps, values = synthetic_series(noise=3.0)
+        split = len(stamps) * 3 // 4
+        model = Prophet().fit(stamps[:split], values[:split])
+        prediction = model.predict(stamps[split:])
+        assert mape(prediction, values[split:]) < 8.0
+
+    def test_holiday_effect_recovered(self):
+        stamps, values = synthetic_series(days=60)
+        holiday = dt.date(2018, 8, 15)
+        is_holiday = np.array([s.date() == holiday for s in stamps])
+        values = values - 25.0 * is_holiday
+        model = Prophet().fit(stamps, values)
+        prediction = model.predict(stamps)
+        holiday_error = np.abs(prediction[is_holiday] - values[is_holiday]).mean()
+        assert holiday_error < 6.0
+
+    def test_no_holidays_variant(self):
+        stamps, values = synthetic_series(days=10)
+        model = Prophet(use_holidays=False).fit(stamps, values)
+        assert np.isfinite(model.predict(stamps[:10])).all()
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Prophet().predict([dt.datetime(2018, 7, 1)])
+
+    def test_misaligned_inputs(self):
+        stamps, values = synthetic_series(days=1)
+        with pytest.raises(ValueError):
+            Prophet().fit(stamps, values[:-1])
+
+    def test_too_few_observations(self):
+        stamps, values = synthetic_series(days=1)
+        with pytest.raises(ValueError):
+            Prophet().fit(stamps[:5], values[:5])
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            Prophet(daily_order=0)
+
+
+class TestForecasterAdapter:
+    def test_fit_predict_protocol(self, tiny_dataset):
+        forecaster = ProphetForecaster()
+        forecaster.fit(tiny_dataset)
+        prediction = forecaster.predict(tiny_dataset)
+        assert prediction.shape == (len(tiny_dataset.split.test),)
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        # Calendar model: crude but not absurd on simulated traffic.
+        assert mape(prediction, truth) < 120.0
+
+    def test_worse_than_persistence(self, tiny_dataset):
+        """The paper's headline: Prophet is far worse than reactive models."""
+        from repro.baselines import LastValueBaseline
+
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        prophet_mape = mape(ProphetForecaster().fit(tiny_dataset).predict(tiny_dataset), truth)
+        last_mape = mape(LastValueBaseline().fit(tiny_dataset).predict(tiny_dataset), truth)
+        assert prophet_mape > last_mape

@@ -1,0 +1,44 @@
+"""Shared fixtures: tiny simulated datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ScalePreset
+from repro.data import FeatureConfig, TrafficDataset
+from repro.traffic import SimulationConfig, simulate
+
+#: A micro preset for tests that must train models quickly.
+MICRO_PRESET = ScalePreset(
+    name="micro",
+    num_days=6,
+    width_factor=0.05,
+    epochs=2,
+    adversarial_epochs=1,
+    batch_size=64,
+    adversarial_batch_size=8,
+    max_steps_per_epoch=6,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_series():
+    """Six days of simulated traffic (shared, treat as read-only)."""
+    return simulate(SimulationConfig(num_days=6, seed=99))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_series):
+    """Default-mask dataset over the tiny series (shared, read-only)."""
+    return TrafficDataset(tiny_series, FeatureConfig(), seed=5)
+
+
+@pytest.fixture(scope="session")
+def micro_preset() -> ScalePreset:
+    return MICRO_PRESET

@@ -1,0 +1,124 @@
+"""Tests for the APOTS adversarial trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import APOTSTrainer, Discriminator, TrainSpec, build_predictor, table1_spec
+from repro.data import FeatureConfig, SplitIndices, TrafficDataset
+
+
+def make_pair(dataset, conditional=True, seed=0, **spec_overrides):
+    rng = np.random.default_rng(seed)
+    predictor = build_predictor("F", dataset.config, spec=table1_spec("F", 0.05), rng=rng)
+    disc = Discriminator(
+        dataset.config, spec=table1_spec("F", 0.05), conditional=conditional, rng=rng
+    )
+    defaults = dict(epochs=2, adversarial_batch_size=8, max_steps_per_epoch=5, seed=seed)
+    defaults.update(spec_overrides)
+    return predictor, disc, TrainSpec(**defaults)
+
+
+class TestFit:
+    def test_history_populated(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        assert history.epochs_run == 2
+        for field in (
+            history.predictor_loss,
+            history.mse_loss,
+            history.adversarial_loss,
+            history.discriminator_loss,
+        ):
+            assert len(field) == 2
+            assert np.all(np.isfinite(field))
+
+    def test_discriminator_probs_in_unit_interval(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        for p in history.discriminator_real_prob + history.discriminator_fake_prob:
+            assert 0.0 <= p <= 1.0
+
+    def test_mse_improves_with_training(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset, epochs=6, max_steps_per_epoch=10)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        assert history.mse_loss[-1] < history.mse_loss[0]
+
+    def test_unconditional_variant_runs(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset, conditional=False)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        assert history.epochs_run == 2
+
+    def test_saturating_loss_variant_runs(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset, saturating_adv_loss=True)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        assert np.all(np.isfinite(history.adversarial_loss))
+
+    def test_custom_loss_weights(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset, mse_weight=1.0, adv_weight=0.0)
+        history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        np.testing.assert_allclose(
+            history.predictor_loss, history.mse_loss, rtol=1e-9
+        )
+
+    def test_sets_eval_mode_after_fit(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset)
+        APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+        assert not predictor.training and not disc.training
+
+    def test_deterministic(self, tiny_dataset):
+        histories = []
+        for _ in range(2):
+            predictor, disc, spec = make_pair(tiny_dataset, seed=4)
+            histories.append(APOTSTrainer(predictor, disc, spec).fit(tiny_dataset))
+        np.testing.assert_allclose(histories[0].predictor_loss, histories[1].predictor_loss)
+
+    def test_verbose_prints(self, tiny_dataset, capsys):
+        predictor, disc, spec = make_pair(tiny_dataset, epochs=1)
+        APOTSTrainer(predictor, disc, spec).fit(tiny_dataset, verbose=True)
+        out = capsys.readouterr().out
+        assert "epoch 1/1" in out and "real" in out
+
+    def test_no_anchors_raises(self, tiny_series):
+        config = FeatureConfig()
+        n = tiny_series.num_steps - config.alpha - config.beta + 1
+        scattered = np.arange(0, n, 5)
+        rest = np.setdiff1d(np.arange(n), scattered)
+        split = SplitIndices(
+            train=scattered, validation=np.array([], dtype=int), test=rest[:10]
+        )
+        ds = TrafficDataset(tiny_series, config, split=split)
+        predictor, disc, spec = make_pair(ds)
+        with pytest.raises(RuntimeError, match="no adversarial anchors"):
+            APOTSTrainer(predictor, disc, spec).fit(ds)
+
+
+class TestAlphaRatio:
+    def test_default_mse_weight_is_alpha(self, tiny_dataset):
+        """The paper's footnote: MSE and adversarial terms at ratio alpha:1."""
+        predictor, disc, spec = make_pair(tiny_dataset)
+        assert spec.mse_weight is None  # default -> alpha at runtime
+        trainer = APOTSTrainer(predictor, disc, spec)
+        anchors = tiny_dataset.rollout_anchors("train")[:4]
+        batch = tiny_dataset.rollout_batch(anchors)
+        total, mse, adv = trainer._predictor_step(batch, tiny_dataset.config.alpha)
+        assert total == pytest.approx(mse * tiny_dataset.config.alpha + adv, rel=1e-6)
+
+
+class TestGradientHygiene:
+    def test_predictor_step_does_not_pollute_discriminator(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset)
+        trainer = APOTSTrainer(predictor, disc, spec)
+        anchors = tiny_dataset.rollout_anchors("train")[:4]
+        batch = tiny_dataset.rollout_batch(anchors)
+        trainer._predictor_step(batch, tiny_dataset.config.alpha)
+        assert all(p.grad is None for p in disc.parameters())
+
+    def test_discriminator_step_does_not_touch_predictor(self, tiny_dataset):
+        predictor, disc, spec = make_pair(tiny_dataset)
+        trainer = APOTSTrainer(predictor, disc, spec)
+        anchors = tiny_dataset.rollout_anchors("train")[:4]
+        batch = tiny_dataset.rollout_batch(anchors)
+        before = {name: p.data.copy() for name, p in predictor.named_parameters()}
+        trainer._discriminator_step(batch, tiny_dataset.config.alpha)
+        for name, param in predictor.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])

@@ -1,0 +1,95 @@
+"""Tests for the attention predictor extension (kind "A")."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import build_predictor, table1_spec
+from repro.core.attention import AttentionPredictor, SelfAttention
+from repro.data import FeatureConfig
+
+
+@pytest.fixture(scope="module")
+def features():
+    return FeatureConfig()
+
+
+def inputs(features, batch=4, seed=1):
+    rng = np.random.default_rng(seed)
+    images = rng.random((batch, features.image_rows, features.alpha))
+    day = rng.random((batch, 4))
+    flat = rng.random((batch, features.flat_dim))
+    return images, day, flat
+
+
+class TestSelfAttention:
+    def test_output_shape(self):
+        attention = SelfAttention(6, 8, np.random.default_rng(0))
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(3, 5, 6)))
+        assert attention(x).shape == (3, 5, 8)
+
+    def test_weights_are_probabilities(self):
+        attention = SelfAttention(6, 8, np.random.default_rng(0))
+        weights = attention.attention_weights(np.random.default_rng(2).normal(size=(2, 5, 6)))
+        assert weights.shape == (2, 5, 5)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-10)
+        assert np.all(weights >= 0.0)
+
+    def test_gradients_flow(self):
+        attention = SelfAttention(4, 4, np.random.default_rng(0))
+        x = nn.Tensor(np.random.default_rng(3).normal(size=(2, 3, 4)), requires_grad=True)
+        (attention(x) ** 2).sum().backward()
+        assert x.grad is not None
+        for _, p in attention.named_parameters():
+            assert p.grad is not None
+
+    def test_gradcheck(self):
+        attention = SelfAttention(2, 2, np.random.default_rng(4))
+        x = nn.Tensor(np.random.default_rng(5).normal(size=(1, 3, 2)), requires_grad=True)
+        nn.check_gradients(
+            lambda: (attention(x) ** 2).sum(),
+            [x] + attention.parameters(),
+            atol=1e-3,
+            rtol=1e-3,
+        )
+
+
+class TestAttentionPredictor:
+    def test_registered_as_kind_a(self, features):
+        model = build_predictor("A", features, spec=table1_spec("A", 0.05))
+        assert isinstance(model, AttentionPredictor)
+        assert model.kind == "A"
+
+    def test_forward_shape(self, features):
+        model = build_predictor("A", features, spec=table1_spec("A", 0.05))
+        img, day, flat = inputs(features)
+        assert model.predict_arrays(img, day, flat).shape == (4,)
+
+    def test_all_parameters_receive_gradients(self, features):
+        model = build_predictor("A", features, spec=table1_spec("A", 0.05))
+        img, day, flat = inputs(features)
+        out = model.predict_arrays(img, day, flat)
+        (out * out).sum().backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_trains_via_facade(self, tiny_dataset, micro_preset):
+        from repro import APOTS
+
+        model = APOTS(predictor="A", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        assert np.isfinite(model.evaluate(tiny_dataset).mape)
+
+    def test_adversarial_training_works(self, tiny_dataset, micro_preset):
+        from repro import APOTS
+
+        model = APOTS(predictor="A", adversarial=True, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        assert model.history.epochs_run > 0
+
+    def test_batched_predict_matches_direct(self, features):
+        model = build_predictor("A", features, spec=table1_spec("A", 0.05))
+        img, day, flat = inputs(features, batch=10)
+        direct = model.predict_arrays(img, day, flat).data
+        batched = model.predict(img, day, flat, batch_size=3)
+        np.testing.assert_allclose(direct, batched, rtol=1e-10)

@@ -1,0 +1,72 @@
+"""Tests for Table I specs, TrainSpec and presets."""
+
+import pytest
+
+from repro.core import PRESETS, ModelSpec, ScalePreset, TrainSpec, table1_spec
+
+
+class TestModelSpec:
+    def test_table1_defaults(self):
+        spec = table1_spec("F")
+        assert spec.fc_widths == [512, 128, 256, 64]
+        assert spec.lstm_widths == [512, 512]
+        assert spec.cnn_channels == [128, 32, 64]
+        assert spec.cnn_kernels == [(3, 3), (1, 1), (3, 3)]
+
+    def test_discriminator_is_five_layers(self):
+        # Four hidden widths + output = the paper's 5 FC layers.
+        assert len(table1_spec("H").discriminator_widths) == 4
+
+    def test_scaling_halves_widths(self):
+        spec = table1_spec("L", width_factor=0.5)
+        assert spec.lstm_widths == [256, 256]
+
+    def test_scaling_floor(self):
+        spec = table1_spec("C", width_factor=0.001)
+        assert all(w >= 4 for w in spec.cnn_channels)
+        assert all(w >= 8 for w in spec.fc_widths)
+
+    def test_scale_one_returns_same(self):
+        spec = ModelSpec(kind="F")
+        assert spec.scaled(1.0) is spec
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown predictor kind"):
+            ModelSpec(kind="Z")
+
+    def test_kernel_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            ModelSpec(kind="C", cnn_channels=[8], cnn_kernels=[(3, 3), (1, 1)])
+
+
+class TestTrainSpec:
+    def test_paper_learning_rate(self):
+        assert TrainSpec().learning_rate == 0.001
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"learning_rate": 0.0}, {"epochs": 0}, {"batch_size": 0}, {"adversarial_batch_size": 0}],
+    )
+    def test_invalid(self, overrides):
+        with pytest.raises(ValueError):
+            TrainSpec(**overrides)
+
+
+class TestPresets:
+    def test_all_presets_present(self):
+        assert set(PRESETS) == {"smoke", "medium", "paper"}
+
+    def test_paper_preset_is_faithful(self):
+        preset = PRESETS["paper"]
+        assert preset.num_days == 122
+        assert preset.width_factor == 1.0
+
+    def test_train_spec_adversarial_epochs(self):
+        preset = ScalePreset(
+            name="x", num_days=5, width_factor=0.1, epochs=7, adversarial_epochs=3
+        )
+        assert preset.train_spec(adversarial=False).epochs == 7
+        assert preset.train_spec(adversarial=True).epochs == 3
+
+    def test_train_spec_propagates_seed(self):
+        assert PRESETS["smoke"].train_spec(seed=11).seed == 11

@@ -1,0 +1,94 @@
+"""Tests for the conditional discriminator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Discriminator, table1_spec
+from repro.data import FeatureConfig
+
+
+@pytest.fixture(scope="module")
+def features():
+    return FeatureConfig()
+
+
+def small_disc(features, conditional=True, seed=0):
+    return Discriminator(
+        features,
+        spec=table1_spec("F", 0.05),
+        conditional=conditional,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestForward:
+    def test_logit_shape(self, features):
+        disc = small_disc(features)
+        from repro import nn
+
+        sequences = nn.Tensor(np.random.default_rng(1).random((6, features.alpha)))
+        condition = nn.Tensor(np.random.default_rng(2).random((6, features.condition_dim)))
+        out = disc(sequences, condition)
+        assert out.shape == (6,)
+
+    def test_conditional_requires_condition(self, features):
+        disc = small_disc(features)
+        from repro import nn
+
+        with pytest.raises(ValueError, match="condition"):
+            disc(nn.Tensor(np.zeros((2, features.alpha))))
+
+    def test_unconditional_ignores_condition_input(self, features):
+        disc = small_disc(features, conditional=False)
+        from repro import nn
+
+        out = disc(nn.Tensor(np.zeros((2, features.alpha))))
+        assert out.shape == (2,)
+
+    def test_condition_changes_output(self, features):
+        disc = small_disc(features)
+        rng = np.random.default_rng(3)
+        seq = rng.random((4, features.alpha))
+        a = disc.probability(seq, rng.random((4, features.condition_dim)))
+        b = disc.probability(seq, rng.random((4, features.condition_dim)))
+        assert not np.allclose(a, b)
+
+
+class TestProbability:
+    def test_in_unit_interval(self, features):
+        disc = small_disc(features)
+        rng = np.random.default_rng(4)
+        probs = disc.probability(
+            rng.random((10, features.alpha)), rng.random((10, features.condition_dim))
+        )
+        assert np.all(probs > 0.0) and np.all(probs < 1.0)
+
+    def test_probability_is_grad_free(self, features):
+        disc = small_disc(features)
+        rng = np.random.default_rng(5)
+        disc.probability(rng.random((3, features.alpha)), rng.random((3, features.condition_dim)))
+        assert all(p.grad is None for p in disc.parameters())
+
+
+class TestArchitecture:
+    def test_five_linear_layers(self, features):
+        disc = Discriminator(features, spec=table1_spec("F"), rng=np.random.default_rng(0))
+        from repro.nn import Linear
+
+        linears = [m for m in disc.net if isinstance(m, Linear)]
+        assert len(linears) == 5  # the paper's 5 FC layers
+        assert linears[0].in_features == features.alpha + features.condition_dim
+        assert linears[-1].out_features == 1
+
+    def test_unconditional_input_dim(self, features):
+        disc = Discriminator(
+            features, spec=table1_spec("F"), conditional=False, rng=np.random.default_rng(0)
+        )
+        from repro.nn import Linear
+
+        first = next(m for m in disc.net if isinstance(m, Linear))
+        assert first.in_features == features.alpha
+
+    def test_parameters_trainable(self, features):
+        disc = small_disc(features)
+        assert disc.num_parameters() > 0

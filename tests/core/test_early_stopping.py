@@ -1,0 +1,53 @@
+"""Tests for early stopping with best-weight restoration."""
+
+import numpy as np
+import pytest
+
+from repro.core import SupervisedTrainer, TrainSpec, build_predictor, table1_spec
+
+
+def make_trainer(dataset, patience, epochs=12, lr=0.001, seed=0):
+    predictor = build_predictor(
+        "F", dataset.config, spec=table1_spec("F", 0.05), rng=np.random.default_rng(seed)
+    )
+    spec = TrainSpec(
+        epochs=epochs,
+        batch_size=64,
+        max_steps_per_epoch=4,
+        early_stopping_patience=patience,
+        learning_rate=lr,
+        seed=seed,
+    )
+    return SupervisedTrainer(predictor, spec)
+
+
+class TestEarlyStopping:
+    def test_disabled_by_default(self, tiny_dataset):
+        trainer = make_trainer(tiny_dataset, patience=None, epochs=4)
+        history = trainer.fit(tiny_dataset)
+        assert history.epochs_run == 4
+
+    def test_stops_when_validation_plateaus(self, tiny_dataset):
+        # A huge learning rate makes validation bounce, triggering the stop.
+        trainer = make_trainer(tiny_dataset, patience=2, epochs=30, lr=0.5)
+        history = trainer.fit(tiny_dataset)
+        assert history.epochs_run < 30
+
+    def test_restores_best_weights(self, tiny_dataset):
+        trainer = make_trainer(tiny_dataset, patience=3, epochs=15, lr=0.3)
+        history = trainer.fit(tiny_dataset)
+        final_val = trainer.validation_loss(tiny_dataset)
+        best_seen = np.nanmin(history.validation_loss)
+        assert final_val == pytest.approx(best_seen, rel=1e-6)
+
+    def test_verbose_reports_stop(self, tiny_dataset, capsys):
+        trainer = make_trainer(tiny_dataset, patience=1, epochs=30, lr=0.5)
+        trainer.fit(tiny_dataset, verbose=True)
+        out = capsys.readouterr().out
+        if trainer.spec.epochs > len(out.splitlines()):
+            assert "early stop" in out
+
+    def test_history_lengths_match_epochs_run(self, tiny_dataset):
+        trainer = make_trainer(tiny_dataset, patience=2, epochs=30, lr=0.5)
+        history = trainer.fit(tiny_dataset)
+        assert len(history.train_loss) == len(history.validation_loss) == history.epochs_run

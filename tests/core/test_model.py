@@ -1,0 +1,97 @@
+"""Tests for the APOTS facade."""
+
+import numpy as np
+import pytest
+
+from repro import APOTS
+from repro.core.model import EvaluationReport
+
+
+class TestConstruction:
+    def test_name_reflects_mode(self, micro_preset):
+        assert APOTS(predictor="H", adversarial=True, preset=micro_preset).name == "APOTS_H"
+        assert APOTS(predictor="H", adversarial=False, preset=micro_preset).name == "H"
+
+    def test_kind(self, micro_preset):
+        assert APOTS(predictor="L", preset=micro_preset).kind == "L"
+
+    def test_plain_model_has_no_discriminator(self, micro_preset):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset)
+        assert model.discriminator is None
+
+    def test_adversarial_model_has_discriminator(self, micro_preset):
+        model = APOTS(predictor="F", adversarial=True, preset=micro_preset)
+        assert model.discriminator is not None
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            APOTS(preset="galactic")
+
+    def test_named_presets_accepted(self):
+        model = APOTS(predictor="F", preset="smoke")
+        assert model.preset.name == "smoke"
+
+
+class TestFitPredictEvaluate:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_dataset, micro_preset):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        return model.fit(tiny_dataset)
+
+    def test_fit_returns_self(self, tiny_dataset, micro_preset):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        assert model.fit(tiny_dataset) is model
+
+    def test_history_recorded(self, fitted):
+        assert fitted.history is not None
+        assert fitted.history.epochs_run > 0
+
+    def test_predict_shape_and_units(self, fitted, tiny_dataset):
+        predictions = fitted.predict(tiny_dataset, subset="test")
+        assert predictions.shape == (len(tiny_dataset.split.test),)
+        # km/h range, not scaled units.
+        assert predictions.mean() > 5.0
+
+    def test_evaluate_report_structure(self, fitted, tiny_dataset):
+        report = fitted.evaluate(tiny_dataset)
+        assert isinstance(report, EvaluationReport)
+        assert set(report.overall) == {"mae", "rmse", "mape"}
+        assert set(report.by_regime) == {"whole", "normal", "abrupt_acc", "abrupt_dec"}
+        assert report.mape == report.overall["mape"]
+        assert report.mae == report.overall["mae"]
+        assert report.rmse == report.overall["rmse"]
+
+    def test_whole_regime_equals_overall(self, fitted, tiny_dataset):
+        report = fitted.evaluate(tiny_dataset)
+        assert report.regime_mape("whole") == pytest.approx(report.mape)
+
+    def test_regime_counts_partition(self, fitted, tiny_dataset):
+        report = fitted.evaluate(tiny_dataset)
+        counts = report.regime_counts
+        assert counts["whole"] == counts["normal"] + counts["abrupt_acc"] + counts["abrupt_dec"]
+
+    def test_evaluate_on_validation(self, fitted, tiny_dataset):
+        report = fitted.evaluate(tiny_dataset, subset="validation")
+        assert np.isfinite(report.mape)
+
+    def test_adversarial_fit_works(self, tiny_dataset, micro_preset):
+        model = APOTS(predictor="F", adversarial=True, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        assert model.history.epochs_run > 0
+        assert np.isfinite(model.evaluate(tiny_dataset).mape)
+
+    def test_empty_regime_is_nan(self, fitted, tiny_dataset):
+        report = fitted.evaluate(tiny_dataset, subset="validation")
+        for regime, count in report.regime_counts.items():
+            if count == 0:
+                assert np.isnan(report.by_regime[regime]["mape"])
+
+
+class TestReproducibility:
+    def test_same_seed_same_predictions(self, tiny_dataset, micro_preset):
+        results = []
+        for _ in range(2):
+            model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=9)
+            model.fit(tiny_dataset)
+            results.append(model.predict(tiny_dataset))
+        np.testing.assert_allclose(results[0], results[1])

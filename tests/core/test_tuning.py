@@ -1,0 +1,84 @@
+"""Tests for the validation-split grid search (Section V-A workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GridSearchResult, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_empty_grid_yields_one_empty_config(self):
+        assert list(expand_grid({})) == [{}]
+
+    def test_cartesian_product(self):
+        configs = list(expand_grid({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(configs) == 4
+        assert {"a": 1, "b": "y"} in configs
+
+    def test_sorted_key_order_is_deterministic(self):
+        first = list(expand_grid({"b": [1], "a": [2]}))
+        second = list(expand_grid({"a": [2], "b": [1]}))
+        assert first == second
+
+
+class TestGridSearchResult:
+    def test_best_requires_entries(self):
+        with pytest.raises(ValueError):
+            GridSearchResult().best  # noqa: B018
+
+    def test_sorting(self):
+        result = GridSearchResult(
+            entries=[
+                {"params": {"lr": 1}, "validation_mape": 9.0, "model": None},
+                {"params": {"lr": 2}, "validation_mape": 3.0, "model": None},
+            ]
+        )
+        result.sort()
+        assert result.best["params"] == {"lr": 2}
+
+    def test_render(self):
+        result = GridSearchResult(
+            entries=[{"params": {"lr": 0.01}, "validation_mape": 5.0, "model": None}]
+        )
+        assert "lr=0.01" in result.render()
+
+
+class TestGridSearch:
+    def test_evaluates_every_combination(self, tiny_dataset, micro_preset):
+        result = grid_search(
+            "F",
+            tiny_dataset,
+            micro_preset,
+            train_grid={"learning_rate": [0.001, 0.01]},
+            width_factors=[0.05],
+            seed=0,
+        )
+        assert len(result.entries) == 2
+        assert all(np.isfinite(e["validation_mape"]) for e in result.entries)
+
+    def test_best_model_is_fitted(self, tiny_dataset, micro_preset):
+        result = grid_search(
+            "F", tiny_dataset, micro_preset, train_grid={"batch_size": [32]}, seed=0
+        )
+        model = result.best_model()
+        assert model.history is not None
+        prediction = model.predict(tiny_dataset)
+        assert prediction.shape == (len(tiny_dataset.split.test),)
+
+    def test_width_sweep(self, tiny_dataset, micro_preset):
+        result = grid_search(
+            "F", tiny_dataset, micro_preset, width_factors=[0.05, 0.1], seed=0
+        )
+        widths = {e["params"]["width_factor"] for e in result.entries}
+        assert widths == {0.05, 0.1}
+
+    def test_entries_sorted_by_validation_mape(self, tiny_dataset, micro_preset):
+        result = grid_search(
+            "F",
+            tiny_dataset,
+            micro_preset,
+            train_grid={"learning_rate": [0.0001, 0.005]},
+            seed=0,
+        )
+        scores = [e["validation_mape"] for e in result.entries]
+        assert scores == sorted(scores)

@@ -1,0 +1,79 @@
+"""Tests for model checkpointing (save_model / load_model)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import APOTS
+from repro.core import load_model, save_model
+from repro.data import FactorMask, FeatureConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    micro_preset = request.getfixturevalue("micro_preset")
+    model = APOTS(predictor="F", adversarial=True, preset=micro_preset, seed=0)
+    return model.fit(tiny_dataset), tiny_dataset
+
+
+class TestRoundtrip:
+    def test_predictions_identical(self, fitted, tmp_path):
+        model, dataset = fitted
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        np.testing.assert_allclose(loaded.predict(dataset), model.predict(dataset))
+
+    def test_discriminator_restored(self, fitted, tmp_path):
+        model, dataset = fitted
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        assert loaded.discriminator is not None
+        rng = np.random.default_rng(0)
+        seq = rng.random((3, dataset.config.alpha))
+        cond = rng.random((3, dataset.config.condition_dim))
+        np.testing.assert_allclose(
+            loaded.discriminator.probability(seq, cond),
+            model.discriminator.probability(seq, cond),
+        )
+
+    def test_metadata_preserved(self, fitted, tmp_path):
+        model, _ = fitted
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        assert loaded.kind == model.kind
+        assert loaded.adversarial == model.adversarial
+        assert loaded.features == model.features
+        assert loaded.spec == model.spec
+
+    def test_plain_model_has_no_discriminator_file(self, tiny_dataset, micro_preset, tmp_path):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        path = save_model(model, tmp_path / "plain")
+        assert not (path / "discriminator.npz").exists()
+        loaded = load_model(path)
+        assert loaded.discriminator is None
+        np.testing.assert_allclose(loaded.predict(tiny_dataset), model.predict(tiny_dataset))
+
+    def test_nondefault_features_roundtrip(self, micro_preset, tmp_path):
+        features = FeatureConfig(alpha=12, beta=2, m=1, mask=FactorMask.table2("ST"))
+        model = APOTS(predictor="C", features=features, adversarial=False, preset=micro_preset)
+        save_model(model, tmp_path / "c")
+        loaded = load_model(tmp_path / "c")
+        assert loaded.features == features
+
+
+class TestErrors:
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope")
+
+    def test_unsupported_version(self, fitted, tmp_path):
+        model, _ = fitted
+        path = save_model(model, tmp_path / "v")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)

@@ -1,0 +1,131 @@
+"""Tests for TrafficDataset batching and adversarial rollout groups."""
+
+import numpy as np
+import pytest
+
+from repro.data import FeatureConfig, TrafficDataset, iterate_batches
+
+
+class TestSubsets:
+    def test_named_subsets(self, tiny_dataset):
+        for name in ("train", "validation", "test"):
+            assert len(tiny_dataset.subset(name)) > 0
+
+    def test_unknown_subset(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            tiny_dataset.subset("bogus")
+
+
+class TestBatch:
+    def test_alignment(self, tiny_dataset):
+        indices = tiny_dataset.split.train[:7]
+        batch = tiny_dataset.batch(indices)
+        assert len(batch) == 7
+        np.testing.assert_allclose(batch.images, tiny_dataset.features.images[indices])
+        np.testing.assert_allclose(batch.targets, tiny_dataset.features.targets[indices])
+
+    def test_flat_matches_features(self, tiny_dataset):
+        indices = tiny_dataset.split.train[:3]
+        batch = tiny_dataset.batch(indices)
+        expected = tiny_dataset.features.flat(indices)
+        np.testing.assert_allclose(batch.flat, expected)
+
+
+class TestRollout:
+    def test_anchor_history_is_in_train(self, tiny_dataset):
+        anchors = tiny_dataset.rollout_anchors("train")
+        assert len(anchors) > 0
+        train = set(tiny_dataset.split.train.tolist())
+        alpha = tiny_dataset.config.alpha
+        for anchor in anchors[:50]:
+            for offset in range(alpha):
+                assert anchor - offset in train
+
+    def test_group_ordering_anchor_major_time_ordered(self, tiny_dataset):
+        anchors = tiny_dataset.rollout_anchors("train")[:4]
+        batch = tiny_dataset.rollout_batch(anchors)
+        alpha = tiny_dataset.config.alpha
+        assert batch.group_flat.shape[0] == 4 * alpha
+        # Last window of each group is the anchor itself.
+        np.testing.assert_allclose(
+            batch.group_targets.reshape(4, alpha)[:, -1], batch.anchor_targets
+        )
+
+    def test_real_sequences_are_consecutive_targets(self, tiny_dataset):
+        anchors = tiny_dataset.rollout_anchors("train")[:2]
+        batch = tiny_dataset.rollout_batch(anchors)
+        alpha = tiny_dataset.config.alpha
+        sequences = batch.real_sequences(alpha)
+        for row, anchor in enumerate(anchors):
+            expected = tiny_dataset.features.targets[anchor - alpha + 1 : anchor + 1]
+            np.testing.assert_allclose(sequences[row], expected)
+
+    def test_condition_is_anchor_condition(self, tiny_dataset):
+        anchors = tiny_dataset.rollout_anchors("train")[:3]
+        batch = tiny_dataset.rollout_batch(anchors)
+        expected = tiny_dataset.features.condition(anchors)
+        np.testing.assert_allclose(batch.condition, expected)
+
+    def test_negative_anchor_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.rollout_batch(np.array([3]))  # needs 11 predecessors
+
+    def test_empty_when_no_runs(self, tiny_series):
+        # A split whose train set has no alpha-long run yields no anchors.
+        from repro.data import SplitIndices
+
+        n = 200
+        scattered = np.arange(0, n, 5)
+        rest = np.setdiff1d(np.arange(n), scattered)
+        split = SplitIndices(train=scattered, validation=np.array([], dtype=int), test=rest[:1])
+        ds = TrafficDataset(tiny_series, FeatureConfig(), split=split)
+        assert len(ds.rollout_anchors("train")) == 0
+
+
+class TestKmh:
+    def test_roundtrip(self, tiny_dataset):
+        scaled = tiny_dataset.features.targets[:10]
+        np.testing.assert_allclose(
+            tiny_dataset.kmh(scaled), tiny_dataset.features.targets_kmh[:10], rtol=1e-10
+        )
+
+    def test_evaluation_arrays(self, tiny_dataset):
+        truth, last = tiny_dataset.evaluation_arrays("test")
+        assert truth.shape == last.shape == (len(tiny_dataset.split.test),)
+
+
+class TestGeometryMismatch:
+    def test_alpha_mismatch_raises_via_model(self, tiny_series):
+        from repro.core import APOTS
+
+        ds = TrafficDataset(tiny_series, FeatureConfig(alpha=6), seed=0)
+        model = APOTS(predictor="F", features=FeatureConfig(alpha=12), preset="smoke")
+        with pytest.raises(ValueError, match="geometry"):
+            model.fit(ds)
+
+
+class TestIterateBatches:
+    def test_covers_all_indices(self):
+        indices = np.arange(10)
+        seen = np.concatenate(list(iterate_batches(indices, 3, shuffle=False)))
+        np.testing.assert_array_equal(seen, indices)
+
+    def test_shuffle_permutes(self):
+        indices = np.arange(100)
+        batches = list(iterate_batches(indices, 100, rng=np.random.default_rng(0)))
+        assert not np.array_equal(batches[0], indices)
+        assert sorted(batches[0].tolist()) == indices.tolist()
+
+    def test_drop_last(self):
+        batches = list(iterate_batches(np.arange(10), 4, shuffle=False, drop_last=True))
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.arange(5), 0))
+
+    def test_deterministic_with_rng(self):
+        a = list(iterate_batches(np.arange(20), 5, rng=np.random.default_rng(9)))
+        b = list(iterate_batches(np.arange(20), 5, rng=np.random.default_rng(9)))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)

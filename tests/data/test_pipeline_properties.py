@@ -1,0 +1,82 @@
+"""Property-based tests of pipeline invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FeatureConfig, split_windows
+from repro.data.split import consecutive_runs
+from repro.metrics import classify_regimes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_windows=st.integers(min_value=50, max_value=3000),
+    test_fraction=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_split_partitions_never_overlap(num_windows, test_fraction, seed):
+    split = split_windows(
+        num_windows, test_fraction=test_fraction, rng=np.random.default_rng(seed)
+    )
+    train, val, test = set(split.train.tolist()), set(split.validation.tolist()), set(split.test.tolist())
+    assert not (train & test) and not (val & test) and not (train & val)
+    assert (train | val | test) <= set(range(num_windows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_windows=st.integers(min_value=200, max_value=3000),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_split_train_windows_respect_overlap_radius(num_windows, seed):
+    split = split_windows(num_windows, window_span=13, rng=np.random.default_rng(seed))
+    if len(split.train) and len(split.test):
+        distances = np.abs(split.train[:, None] - split.test[None, :])
+        assert distances.min() >= 13
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=0, max_size=80, unique=True))
+def test_consecutive_runs_cover_input_exactly(indices):
+    runs = consecutive_runs(np.array(sorted(indices), dtype=int), min_length=1)
+    flattened = sorted(int(i) for run in runs for i in run)
+    assert flattened == sorted(indices)
+    for run in runs:
+        assert np.all(np.diff(run) == 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    alpha=st.integers(min_value=2, max_value=24),
+    beta=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=0, max_value=4),
+)
+def test_feature_config_dimension_identities(alpha, beta, m):
+    config = FeatureConfig(alpha=alpha, beta=beta, m=m)
+    assert config.num_roads == 2 * m + 1
+    assert config.image_rows == config.num_roads + 4
+    assert config.flat_dim == config.image_rows * alpha + 4
+    assert config.condition_dim == config.flat_dim - alpha
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=10.0, max_value=110.0, allow_nan=False, width=64),
+        min_size=1,
+        max_size=60,
+    ),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+def test_regimes_partition_for_any_speeds(last_speeds, theta):
+    last = np.array(last_speeds)
+    target = last[::-1].copy()
+    masks = classify_regimes(last, target, theta=theta)
+    total = (
+        masks.normal.astype(int)
+        + masks.abrupt_acceleration.astype(int)
+        + masks.abrupt_deceleration.astype(int)
+    )
+    np.testing.assert_array_equal(total, 1)
+    assert masks.whole.sum() == len(last)

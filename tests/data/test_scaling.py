@@ -1,0 +1,104 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import LogStandardScaler, MinMaxScaler, StandardScaler
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        scaler = MinMaxScaler().fit(np.array([10.0, 20.0, 30.0]))
+        out = scaler.transform(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_roundtrip(self):
+        data = np.array([3.0, 7.0, 11.0])
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_fit_transform(self):
+        out = MinMaxScaler().fit_transform(np.array([0.0, 5.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_constant_input_does_not_divide_by_zero(self):
+        scaler = MinMaxScaler().fit(np.full(5, 7.0))
+        out = scaler.transform(np.full(5, 7.0))
+        assert np.all(np.isfinite(out))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones(3))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.array([]))
+
+    def test_extrapolates_outside_fit_range(self):
+        scaler = MinMaxScaler().fit(np.array([0.0, 10.0]))
+        assert scaler.transform(np.array([20.0]))[0] == pytest.approx(2.0)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        data = np.random.default_rng(0).normal(5.0, 3.0, size=1000)
+        out = StandardScaler().fit_transform(data)
+        assert abs(out.mean()) < 1e-10
+        assert abs(out.std() - 1.0) < 1e-10
+
+    def test_roundtrip(self):
+        data = np.array([1.0, 2.0, 9.0])
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_input(self):
+        out = StandardScaler().fit_transform(np.full(4, 3.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.ones(2))
+
+
+class TestLogStandardScaler:
+    def test_roundtrip(self):
+        data = np.array([0.0, 0.5, 2.0, 10.0])
+        scaler = LogStandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-10)
+
+    def test_compresses_heavy_tail(self):
+        data = np.array([0.0, 0.1, 0.2, 50.0])
+        out = LogStandardScaler().fit_transform(data)
+        raw = StandardScaler().fit_transform(data)
+        assert out.max() < raw.max()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=2, max_value=30),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    )
+)
+def test_minmax_roundtrip_property(data):
+    scaler = MinMaxScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    np.testing.assert_allclose(recovered, data, rtol=1e-9, atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=2, max_value=30),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+    )
+)
+def test_standard_roundtrip_property(data):
+    scaler = StandardScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    np.testing.assert_allclose(recovered, data, rtol=1e-9, atol=1e-6)

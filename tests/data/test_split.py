@@ -1,0 +1,98 @@
+"""Tests for window splitting and overlap discarding."""
+
+import numpy as np
+import pytest
+
+from repro.data import SplitIndices, consecutive_runs, split_windows
+
+
+class TestSplitWindows:
+    def test_partitions_disjoint(self):
+        split = split_windows(2000, rng=np.random.default_rng(0))
+        train, val, test = map(set, (split.train.tolist(), split.validation.tolist(), split.test.tolist()))
+        assert not train & test
+        assert not val & test
+        assert not train & val
+
+    def test_test_fraction_roughly_honoured(self):
+        split = split_windows(5000, test_fraction=0.2, rng=np.random.default_rng(1))
+        assert 0.15 < len(split.test) / 5000 < 0.25
+
+    def test_validation_carved_from_train(self):
+        split = split_windows(5000, validation_fraction=0.2, rng=np.random.default_rng(2))
+        total_train = len(split.train) + len(split.validation)
+        assert 0.1 < len(split.validation) / total_train < 0.3
+
+    def test_blocks_strategy_discards_overlapping_train(self):
+        split = split_windows(3000, strategy="blocks", window_span=13, rng=np.random.default_rng(3))
+        test_set = set(split.test.tolist())
+        for index in np.concatenate([split.train, split.validation]):
+            for offset in range(1, 13):
+                # No train window within the overlap radius of a test window.
+                assert index + offset not in test_set or index + offset >= index + 13 or True
+        # Direct check: min distance from any train index to any test index.
+        distances = np.abs(split.train[:, None] - split.test[None, :])
+        assert distances.min() >= 13
+
+    def test_random_strategy(self):
+        split = split_windows(
+            2000, strategy="random", overlap_radius=2, rng=np.random.default_rng(4)
+        )
+        distances = np.abs(split.train[:, None] - split.test[None, :])
+        assert distances.min() >= 2
+        assert len(split.train) > 0
+
+    def test_blocks_leave_long_train_runs(self):
+        split = split_windows(5000, strategy="blocks", window_span=13, rng=np.random.default_rng(5))
+        runs = consecutive_runs(split.train, min_length=12)
+        assert sum(len(r) for r in runs) > 0.5 * len(split.train)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            split_windows(100, strategy="bogus")
+
+    @pytest.mark.parametrize("kwargs", [{"num_windows": 0}, {"test_fraction": 0.0}, {"test_fraction": 1.0}])
+    def test_invalid_arguments(self, kwargs):
+        defaults = dict(num_windows=100)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            split_windows(**defaults)
+
+    def test_invalid_block_length(self):
+        with pytest.raises(ValueError, match="block_length"):
+            split_windows(100, block_length=0)
+
+    def test_deterministic_given_seed(self):
+        a = split_windows(1000, rng=np.random.default_rng(42))
+        b = split_windows(1000, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a.test, b.test)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_sizes_property(self):
+        split = split_windows(1000, rng=np.random.default_rng(6))
+        assert split.sizes == (len(split.train), len(split.validation), len(split.test))
+
+
+class TestSplitIndicesValidation:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SplitIndices(
+                train=np.array([1, 2]), validation=np.array([3]), test=np.array([2, 4])
+            )
+
+
+class TestConsecutiveRuns:
+    def test_basic_grouping(self):
+        runs = consecutive_runs(np.array([1, 2, 3, 7, 8, 20]), min_length=2)
+        assert [r.tolist() for r in runs] == [[1, 2, 3], [7, 8]]
+
+    def test_min_length_filters(self):
+        runs = consecutive_runs(np.array([1, 2, 3, 7, 8, 20]), min_length=3)
+        assert [r.tolist() for r in runs] == [[1, 2, 3]]
+
+    def test_empty(self):
+        assert consecutive_runs(np.array([], dtype=int), min_length=1) == []
+
+    def test_unsorted_input_handled(self):
+        runs = consecutive_runs(np.array([3, 1, 2]), min_length=3)
+        assert [r.tolist() for r in runs] == [[1, 2, 3]]

@@ -1,0 +1,82 @@
+"""Tests for the ablation harness (structure, not accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestAblationResult:
+    def test_best(self):
+        result = ablations.AblationResult(name="demo", mape={"a": 3.0, "b": 1.0})
+        assert result.best() == ("b", 1.0)
+
+    def test_render_with_abrupt(self):
+        result = ablations.AblationResult(
+            name="demo", mape={"a": 3.0}, abrupt_mape={"a": 9.0}
+        )
+        text = result.render()
+        assert "Ablation: demo" in text
+        assert "abrupt" in text
+
+    def test_render_without_abrupt(self):
+        result = ablations.AblationResult(name="demo", mape={"a": 3.0})
+        assert "abrupt" not in result.render()
+
+
+class TestLossRatio:
+    def test_settings_and_paper_label(self, micro_preset):
+        result = ablations.loss_ratio_ablation(
+            preset=micro_preset, seed=1, ratios=(1.0, 12.0)
+        )
+        assert len(result.mape) == 2
+        assert any("paper: alpha" in label for label in result.mape)
+        assert all(np.isfinite(v) for v in result.mape.values())
+
+
+class TestDiscriminatorInput:
+    def test_both_variants_run(self, micro_preset):
+        result = ablations.discriminator_input_ablation(preset=micro_preset, seed=1)
+        assert set(result.mape) == {"sequence (alpha)", "single speed"}
+
+    def test_single_speed_discriminator_dimension(self):
+        from repro.core import Discriminator, table1_spec
+        from repro.data import FeatureConfig
+        from repro.nn import Linear
+
+        disc = Discriminator(
+            FeatureConfig(),
+            spec=table1_spec("F", 0.05),
+            conditional=False,
+            sequence_length=1,
+            rng=np.random.default_rng(0),
+        )
+        first = next(m for m in disc.net if isinstance(m, Linear))
+        assert first.in_features == 1
+
+    def test_invalid_sequence_length(self):
+        from repro.core import Discriminator
+        from repro.data import FeatureConfig
+
+        with pytest.raises(ValueError):
+            Discriminator(FeatureConfig(), sequence_length=0)
+        with pytest.raises(ValueError):
+            Discriminator(FeatureConfig(), sequence_length=13)
+
+
+class TestConditioning:
+    def test_variants(self, micro_preset):
+        result = ablations.conditioning_ablation(preset=micro_preset, seed=1, kind="F")
+        assert set(result.mape) == {"conditional (Eq 4)", "unconditional"}
+
+
+class TestAdjacency:
+    def test_m_sweep(self, micro_preset):
+        result = ablations.adjacency_ablation(preset=micro_preset, seed=1, kind="F", ms=(0, 1))
+        assert set(result.mape) == {"m=0", "m=1"}
+
+
+class TestHorizon:
+    def test_beta_sweep(self, micro_preset):
+        result = ablations.horizon_ablation(preset=micro_preset, seed=1, kind="F", betas=(1, 3))
+        assert set(result.mape) == {"beta=1 (5 min)", "beta=3 (15 min)"}

@@ -1,0 +1,47 @@
+"""End-to-end CLI tests: the module runner drives real experiments."""
+
+import pytest
+
+from repro.core import config
+from repro.experiments import scenario
+from repro.experiments.cli import main
+from repro.experiments.registry import run_experiment
+from tests.conftest import MICRO_PRESET
+
+
+@pytest.fixture(autouse=True)
+def micro_presets(monkeypatch):
+    for name in list(config.PRESETS):
+        monkeypatch.setitem(config.PRESETS, name, MICRO_PRESET)
+    scenario.clear_model_cache()
+
+
+class TestCliRunsExperiments:
+    def test_fig1_via_cli(self, capsys):
+        assert main(["fig1", "--preset", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "done in" in out
+
+    def test_ablation_via_cli(self, capsys):
+        assert main(["ablation_horizon", "--preset", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            main(["fig99", "--preset", "smoke"])
+
+
+class TestRegistryDispatch:
+    @pytest.mark.parametrize(
+        "name",
+        ["ablation_loss_ratio", "ablation_disc_input", "ablation_adjacency", "ablation_horizon"],
+    )
+    def test_ablations_dispatch(self, name):
+        result = run_experiment(name, preset="smoke", seed=1)
+        assert "Ablation" in result.render()
+
+    def test_seed_defaulting(self):
+        result = run_experiment("fig1", preset="smoke")
+        assert result.render()

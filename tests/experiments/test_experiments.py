@@ -1,0 +1,178 @@
+"""Structural smoke tests of every experiment at micro scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig4, fig5, fig6, table2, table3
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestFig1:
+    def test_runs_and_extracts_episodes(self, micro_preset):
+        result = fig1.run(preset=micro_preset, seed=1)
+        assert "morning_rush" in result.episodes
+        text = result.render()
+        assert "Fig 1" in text
+
+    def test_episode_length_is_three_hours(self, micro_preset):
+        result = fig1.run(preset=micro_preset, seed=1)
+        for episode in result.episodes.values():
+            assert len(episode.speeds_kmh) == fig1.EPISODE_STEPS
+            assert len(episode.labels) == fig1.EPISODE_STEPS
+
+    def test_morning_rush_window_matches_clock(self, micro_preset):
+        result = fig1.run(preset=micro_preset, seed=1)
+        episode = result.episodes["morning_rush"]
+        start_hour = int(episode.labels[0].split(":")[0])
+        assert 5 <= start_hour <= 8
+
+    def test_rush_episode_has_real_drop(self, micro_preset):
+        result = fig1.run(preset=micro_preset, seed=1)
+        assert result.episodes["morning_rush"].drop > 20.0
+
+    def test_unknown_episode_name(self, micro_preset):
+        from repro.experiments.scenario import get_series
+
+        with pytest.raises(ValueError):
+            fig1.find_episode(get_series(micro_preset, 1), "tsunami")
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, micro_preset):
+        return fig4.run(preset=micro_preset, seed=1, predictors=("F",))
+
+    def test_variants_present(self, result):
+        assert set(result.mape) == {"F", "Adv F"}
+
+    def test_all_regimes_scored(self, result):
+        assert set(result.mape["F"]) == {"whole", "normal", "abrupt_acc", "abrupt_dec"}
+
+    def test_render_mentions_regimes(self, result):
+        text = result.render()
+        assert "Abrupt dec" in text and "Adv F" in text
+
+    def test_improvement_helper(self, result):
+        value = result.improvement("F", "whole")
+        assert np.isfinite(value) or np.isnan(value)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, micro_preset):
+        return fig5.run(preset=micro_preset, seed=1, predictors=("F",))
+
+    def test_all_configurations_present(self, result):
+        assert set(result.mape) == set(fig5.CONFIGURATIONS)
+
+    def test_gain_helper(self, result):
+        assert np.isfinite(result.gain_over_speed_only("Both", "F"))
+
+    def test_render(self, result):
+        assert "Fig 5" in result.render()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, micro_preset):
+        # Two codes keep the test fast; the full bench runs all eight.
+        out = table2.Table2Result()
+        out.mape = {"S": 20.0, "ST": 15.0}
+        return out
+
+    def test_gain_relative_to_s(self, result):
+        assert result.gain("ST") == pytest.approx(25.0)
+        assert result.gain("S") == 0.0
+
+    def test_run_micro(self, micro_preset):
+        result = table2.run(preset=micro_preset, seed=1, kind="F")
+        assert set(result.mape) == set(table2.CODES)
+        assert "Table II" in result.render()
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, micro_preset):
+        return table3.run(preset=micro_preset, seed=1, kinds=("F",), include_prophet=True)
+
+    def test_grid_structure(self, result):
+        assert "Prophet" in result.errors and "F" in result.errors
+        cell = result.cell("F", "speed_only", "with_adv", "mape")
+        assert np.isfinite(cell)
+
+    def test_prophet_has_no_adversarial(self, result):
+        assert np.isnan(result.cell("Prophet", "speed_only", "with_adv", "mape"))
+
+    def test_gains_computable(self, result):
+        assert np.isfinite(result.column_gain("F", "speed_only", "mape"))
+        assert np.isfinite(result.row_gain("F", "with_adv", "mape"))
+        assert np.isfinite(result.diagonal_gain("F", "mape"))
+
+    def test_best_model_excludes_prophet_nan(self, result):
+        name, value = result.best_model()
+        assert name == "F"
+        assert np.isfinite(value)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table III [MAPE]" in text
+        assert "best full model" in text
+
+    def test_t_tests_on_partial_grid(self, result):
+        # One neural model still yields 2 paired cells, enough for a t-test.
+        t = result.adversarial_t_test()
+        assert 0.0 <= t.p_value <= 1.0
+        assert result.neural_models == ["F"]
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, micro_preset):
+        return fig6.run(preset=micro_preset, seed=1, predictors=("F",))
+
+    def test_traces_have_all_models(self, result):
+        for trace in result.traces.values():
+            assert set(trace.predictions) == {"F", "APOTS_F"}
+
+    def test_prediction_lengths_match_episode(self, result):
+        for trace in result.traces.values():
+            for prediction in trace.predictions.values():
+                assert prediction.shape == trace.episode.speeds_kmh.shape
+
+    def test_model_mape_helper(self, result):
+        trace = next(iter(result.traces.values()))
+        assert np.isfinite(trace.model_mape("F"))
+
+    def test_render(self, result):
+        assert "Fig 6" in result.render()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        paper_artifacts = {"fig1", "fig4", "fig5", "table2", "table3", "fig6"}
+        assert paper_artifacts <= set(EXPERIMENTS)
+        ablation_ids = {name for name in EXPERIMENTS if name.startswith("ablation_")}
+        assert len(ablation_ids) == 5
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self, micro_preset):
+        result = run_experiment("fig1", preset=micro_preset, seed=1)
+        assert hasattr(result, "render")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main([]) == 0
+        assert "fig4" in capsys.readouterr().out

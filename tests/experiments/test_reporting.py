@@ -1,0 +1,70 @@
+"""Tests for the ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_value, render_bars, render_series, render_table
+
+
+class TestFormatValue:
+    def test_float_rounds(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(3.14159, decimals=3) == "3.142"
+
+    def test_nan_is_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+    def test_ints(self):
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["model", "mape"], [["F", 21.4], ["H", 12.8]], title="demo")
+        assert "demo" in text
+        assert "model" in text
+        assert "21.40" in text
+        assert "12.80" in text
+
+    def test_alignment_consistent(self):
+        text = render_table(["a", "b"], [["xx", 1.0], ["y", 22.5]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderBars:
+    def test_bars_scale_with_value(self):
+        text = render_bars(["x"], {"big": [100.0], "small": [10.0]})
+        big_line = next(l for l in text.splitlines() if "big" in l)
+        small_line = next(l for l in text.splitlines() if "small" in l)
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_nan_rendered_as_dash(self):
+        text = render_bars(["x"], {"a": [float("nan")]})
+        assert "-" in text
+
+    def test_title_included(self):
+        assert render_bars(["x"], {"a": [1.0]}, title="T!").startswith("T!")
+
+
+class TestRenderSeries:
+    def test_all_series_present(self):
+        text = render_series(["00:00", "00:05"], {"Real": [1.0, 2.0], "F": [1.5, 2.5]})
+        assert "Real" in text and "F" in text
+        assert "00:05" in text
+
+    def test_stride_skips_rows(self):
+        labels = [f"{i}" for i in range(10)]
+        text = render_series(labels, {"v": list(np.arange(10.0))}, stride=5)
+        assert "0" in text and "5" in text
+        assert len(text.splitlines()) == 3  # header + 2 rows

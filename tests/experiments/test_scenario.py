@@ -1,0 +1,71 @@
+"""Tests for shared experiment scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PRESETS
+from repro.data import FactorMask
+from repro.experiments.scenario import (
+    get_series,
+    make_dataset,
+    resolve_preset,
+    train_model,
+)
+
+
+class TestResolvePreset:
+    def test_by_name(self):
+        assert resolve_preset("smoke") is PRESETS["smoke"]
+
+    def test_passthrough(self, micro_preset):
+        assert resolve_preset(micro_preset) is micro_preset
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            resolve_preset("warp")
+
+
+class TestSeriesCaching:
+    def test_same_object_returned(self, micro_preset):
+        a = get_series(micro_preset, seed=1)
+        b = get_series(micro_preset, seed=1)
+        assert a is b
+
+    def test_different_seed_not_shared(self, micro_preset):
+        a = get_series(micro_preset, seed=1)
+        b = get_series(micro_preset, seed=2)
+        assert a is not b
+
+
+class TestMakeDataset:
+    def test_masks_share_split(self, micro_preset):
+        speed_only = make_dataset(micro_preset, mask=FactorMask.speed_only(), seed=1)
+        both = make_dataset(micro_preset, mask=FactorMask.both(), seed=1)
+        np.testing.assert_array_equal(speed_only.split.test, both.split.test)
+        np.testing.assert_array_equal(speed_only.split.train, both.split.train)
+
+    def test_mask_applied(self, micro_preset):
+        ds = make_dataset(micro_preset, mask=FactorMask.speed_only(), seed=1)
+        assert not ds.config.mask.adjacent
+
+    def test_default_mask_is_both(self, micro_preset):
+        ds = make_dataset(micro_preset, seed=1)
+        assert ds.config.mask.uses_additional
+
+
+class TestTrainModel:
+    def test_plain(self, micro_preset):
+        ds = make_dataset(micro_preset, mask=FactorMask.speed_only(), seed=1)
+        model = train_model("F", ds, micro_preset, adversarial=False, seed=1)
+        assert model.name == "F"
+        assert model.history is not None
+
+    def test_adversarial_conditionality_follows_mask(self, micro_preset):
+        speed_only = make_dataset(micro_preset, mask=FactorMask.speed_only(), seed=1)
+        model = train_model("F", speed_only, micro_preset, adversarial=True, seed=1)
+        assert model.discriminator is not None
+        assert not model.discriminator.conditional  # no additional data -> Eq 1/2
+
+        both = make_dataset(micro_preset, mask=FactorMask.both(), seed=1)
+        model = train_model("F", both, micro_preset, adversarial=True, seed=1)
+        assert model.discriminator.conditional  # Eq 4

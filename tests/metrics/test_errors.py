@@ -1,0 +1,81 @@
+"""Tests for MAE / RMSE / MAPE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import all_errors, mae, mape, rmse
+
+
+class TestValues:
+    def test_mae(self):
+        assert mae(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_rmse(self):
+        assert rmse(np.array([3.0, 0.0]), np.array([0.0, 0.0])) == pytest.approx(np.sqrt(4.5))
+
+    def test_mape_percent(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_perfect_prediction(self):
+        truth = np.array([50.0, 80.0])
+        assert mae(truth, truth) == 0.0
+        assert rmse(truth, truth) == 0.0
+        assert mape(truth, truth) == 0.0
+
+    def test_all_errors_keys(self):
+        report = all_errors(np.array([1.0]), np.array([2.0]))
+        assert set(report) == {"mae", "rmse", "mape"}
+
+    def test_mape_guards_zero_truth(self):
+        value = mape(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(value)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            rmse(np.array([]), np.array([]))
+
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64)
+positive = st.floats(min_value=1.0, max_value=1e4, allow_nan=False, width=64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(1, 20), elements=finite), arrays(np.float64, st.integers(1, 20), elements=finite))
+def test_mae_le_rmse(a, b):
+    if a.shape != b.shape:
+        return
+    assert mae(a, b) <= rmse(a, b) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(1, 20), elements=finite))
+def test_metrics_nonnegative(a):
+    b = a[::-1].copy()
+    assert mae(a, b) >= 0.0
+    assert rmse(a, b) >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(1, 20), elements=positive))
+def test_mape_symmetry_in_shift(truth):
+    """Overshooting by d and undershooting by d give the same MAPE."""
+    over = mape(truth + 1.0, truth)
+    under = mape(truth - 1.0, truth)
+    assert over == pytest.approx(under, rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(2, 20), elements=finite))
+def test_mae_triangle_inequality(a):
+    b = np.zeros_like(a)
+    c = a / 2.0
+    assert mae(a, b) <= mae(a, c) + mae(c, b) + 1e-9

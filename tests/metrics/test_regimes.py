@@ -1,0 +1,75 @@
+"""Tests for abrupt-change regime classification (Eq 7/8)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ABRUPT_THETA, classify_regimes
+
+
+class TestClassification:
+    def test_paper_threshold(self):
+        assert ABRUPT_THETA == 0.3
+
+    def test_deceleration_detected(self):
+        # 100 -> 60 is a 40 % drop: abrupt deceleration.
+        masks = classify_regimes(np.array([100.0]), np.array([60.0]))
+        assert masks.abrupt_deceleration[0]
+        assert not masks.abrupt_acceleration[0]
+        assert not masks.normal[0]
+
+    def test_acceleration_detected(self):
+        # 50 -> 80 is a 60 % rise: abrupt acceleration.
+        masks = classify_regimes(np.array([50.0]), np.array([80.0]))
+        assert masks.abrupt_acceleration[0]
+        assert not masks.abrupt_deceleration[0]
+
+    def test_normal_change(self):
+        masks = classify_regimes(np.array([100.0]), np.array([95.0]))
+        assert masks.normal[0]
+
+    def test_exact_threshold_is_abrupt(self):
+        # Eq 7 uses >=, so exactly 30 % counts.
+        masks = classify_regimes(np.array([100.0]), np.array([70.0]))
+        assert masks.abrupt_deceleration[0]
+
+    def test_just_below_threshold_is_normal(self):
+        masks = classify_regimes(np.array([100.0]), np.array([70.5]))
+        assert masks.normal[0]
+
+    def test_whole_covers_everything(self):
+        masks = classify_regimes(np.array([100.0, 50.0, 90.0]), np.array([60.0, 80.0, 91.0]))
+        assert masks.whole.all()
+        assert masks.counts()["whole"] == 3
+
+    def test_partition_is_exact(self):
+        rng = np.random.default_rng(0)
+        last = rng.uniform(20, 100, size=500)
+        target = rng.uniform(20, 100, size=500)
+        masks = classify_regimes(last, target)
+        combined = (
+            masks.normal.astype(int)
+            + masks.abrupt_acceleration.astype(int)
+            + masks.abrupt_deceleration.astype(int)
+        )
+        np.testing.assert_array_equal(combined, 1)
+
+    def test_counts(self):
+        masks = classify_regimes(np.array([100.0, 100.0]), np.array([50.0, 99.0]))
+        counts = masks.counts()
+        assert counts == {"whole": 2, "normal": 1, "abrupt_acc": 0, "abrupt_dec": 1}
+
+    def test_as_dict_keys(self):
+        masks = classify_regimes(np.array([100.0]), np.array([99.0]))
+        assert set(masks.as_dict()) == {"whole", "normal", "abrupt_acc", "abrupt_dec"}
+
+    def test_custom_theta(self):
+        masks = classify_regimes(np.array([100.0]), np.array([85.0]), theta=0.1)
+        assert masks.abrupt_deceleration[0]
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            classify_regimes(np.zeros(3), np.zeros(4))
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            classify_regimes(np.array([1.0]), np.array([1.0]), theta=0.0)

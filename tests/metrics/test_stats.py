@@ -1,0 +1,68 @@
+"""Tests for gain (Eq 9) and the paired t-test."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.metrics import gain, paired_t_test
+
+
+class TestGain:
+    def test_improvement_is_positive(self):
+        # Error dropping 20 -> 15 is a 25 % gain, as the paper reports it.
+        assert gain(15.0, 20.0) == pytest.approx(25.0)
+
+    def test_regression_is_negative(self):
+        assert gain(25.0, 20.0) == pytest.approx(-25.0)
+
+    def test_no_change(self):
+        assert gain(10.0, 10.0) == 0.0
+
+    def test_paper_table2_example(self):
+        # Table II: ST = 13.26 vs S = 16.60 -> 20.12 % gain.
+        assert gain(13.26, 16.60) == pytest.approx(20.12, abs=0.01)
+
+    def test_zero_before_rejected(self):
+        with pytest.raises(ValueError):
+            gain(1.0, 0.0)
+
+
+class TestPairedTTest:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 2, size=8)
+        b = a + rng.normal(1, 0.5, size=8)
+        result = paired_t_test(a, b)
+        reference = scipy_stats.ttest_rel(a, b)
+        assert result.statistic == pytest.approx(float(reference.statistic))
+        assert result.p_value == pytest.approx(float(reference.pvalue))
+        assert result.degrees_of_freedom == 7
+
+    def test_significant_improvement(self):
+        a = np.array([10.0, 11.0, 9.0, 10.5, 10.2, 9.8, 10.1, 9.9])
+        b = a + np.array([2.0, 2.1, 1.9, 2.2, 1.8, 2.0, 2.1, 1.9])
+        result = paired_t_test(a, b)
+        assert result.significant
+        assert result.statistic < 0  # a consistently smaller
+
+    def test_insignificant_noise(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=8)
+        b = a + rng.normal(0, 5, size=8)
+        result = paired_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_str_format(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.5, 3.0, 4.2])
+        text = str(paired_t_test(a, b))
+        assert text.startswith("t(2)=")
+        assert "p=" in text
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test(np.zeros(3), np.zeros(4))
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValueError):
+            paired_t_test(np.array([1.0]), np.array([2.0]))

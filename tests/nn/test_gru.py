@@ -1,0 +1,104 @@
+"""Tests for the GRU layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestGRUCell:
+    def test_state_shape(self):
+        cell = nn.GRUCell(4, 6, rng=np.random.default_rng(0))
+        h = cell.initial_state(3)
+        h2 = cell(nn.Tensor(np.ones((3, 4))), h)
+        assert h2.shape == (3, 6)
+
+    def test_hidden_bounded(self):
+        cell = nn.GRUCell(4, 6, rng=np.random.default_rng(1))
+        h = cell.initial_state(2)
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(2, 4)) * 10)
+        h = cell(x, h)
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_update_gate_interpolates(self):
+        """With z == 1 the state is carried over unchanged."""
+        cell = nn.GRUCell(2, 3, rng=np.random.default_rng(3))
+        # Force the update gate to saturate at 1 via its biases.
+        cell.bias_ih.data[3:6] = 50.0
+        previous = nn.Tensor(np.random.default_rng(4).normal(size=(2, 3)))
+        out = cell(nn.Tensor(np.zeros((2, 2))), previous)
+        np.testing.assert_allclose(out.data, previous.data, atol=1e-6)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(5)
+        cell = nn.GRUCell(3, 2, rng=rng)
+        x = nn.Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h0 = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+
+        def forward():
+            return (cell(x, h0) ** 2).sum()
+
+        nn.check_gradients(forward, [x, h0] + cell.parameters(), atol=1e-3, rtol=1e-3)
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = nn.GRU(5, [8, 6], rng=np.random.default_rng(6))
+        out, state = gru(nn.Tensor(np.ones((3, 7, 5))))
+        assert out.shape == (3, 7, 6)
+        assert state[0].shape == (3, 8)
+        assert state[1].shape == (3, 6)
+
+    def test_final_state_matches_last_output(self):
+        gru = nn.GRU(3, [5], rng=np.random.default_rng(7))
+        out, state = gru(nn.Tensor(np.random.default_rng(8).normal(size=(2, 4, 3))))
+        np.testing.assert_allclose(out.data[:, -1, :], state[0].data)
+
+    def test_rejects_2d_input(self):
+        gru = nn.GRU(3, [4], rng=np.random.default_rng(9))
+        with pytest.raises(ValueError):
+            gru(nn.Tensor(np.ones((2, 3))))
+
+    def test_hidden_layers_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.GRU(3, [4, 4], num_layers=3)
+
+    def test_state_threading(self):
+        rng = np.random.default_rng(10)
+        gru = nn.GRU(3, [4], rng=rng)
+        x = rng.normal(size=(2, 6, 3))
+        full, _ = gru(nn.Tensor(x))
+        first, state = gru(nn.Tensor(x[:, :3]))
+        second, _ = gru(nn.Tensor(x[:, 3:]), state)
+        np.testing.assert_allclose(full.data[:, 3:], second.data, atol=1e-12)
+
+    def test_backward_through_time(self):
+        rng = np.random.default_rng(11)
+        gru = nn.GRU(3, [4], rng=rng)
+        x = nn.Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        out, _ = gru(x)
+        (out * out).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[:, 0]).max() > 0
+
+    def test_learns_sequence_mean(self):
+        """The GRU substrate can actually be trained."""
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(128, 5, 1))
+        y = x.mean(axis=(1, 2))
+        gru = nn.GRU(1, [8], rng=rng)
+        head = nn.Linear(8, 1, rng=rng)
+        params = gru.parameters() + head.parameters()
+        opt = nn.Adam(params, lr=0.02)
+        loss_fn = nn.MSELoss()
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            out, _ = gru(nn.Tensor(x))
+            pred = head(out[:, -1, :]).reshape(-1)
+            loss = loss_fn(pred, y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.3

@@ -1,0 +1,225 @@
+"""Tests for layers: Linear, activations, dropout, normalisation, conv."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(4, 7, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_known_weights(self):
+        layer = nn.Linear(2, 1, rng=np.random.default_rng(0))
+        layer.weight.data[:] = [[2.0, 3.0]]
+        layer.bias.data[:] = [1.0]
+        out = layer(nn.Tensor([[1.0, 1.0]]))
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(1)
+        layer = nn.Linear(3, 2, rng=rng)
+        x = nn.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        nn.check_gradients(
+            lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias]
+        )
+
+    def test_repr(self):
+        assert "Linear(3, 2" in repr(nn.Linear(3, 2))
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize(
+        "layer,expected",
+        [
+            (nn.ReLU(), [0.0, 0.0, 2.0]),
+            (nn.Tanh(), list(np.tanh([-1.0, 0.0, 2.0]))),
+            (nn.Sigmoid(), list(1 / (1 + np.exp(-np.array([-1.0, 0.0, 2.0]))))),
+            (nn.LeakyReLU(0.1), [-0.1, 0.0, 2.0]),
+        ],
+    )
+    def test_forward_values(self, layer, expected):
+        out = layer(nn.Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_elu(self):
+        out = nn.ELU(alpha=1.0)(nn.Tensor([-1.0, 2.0]))
+        np.testing.assert_allclose(out.data, [np.expm1(-1.0), 2.0], atol=1e-12)
+
+    def test_elu_gradcheck(self):
+        x = nn.Tensor([-0.5, 0.5, 1.5], requires_grad=True)
+        nn.check_gradients(lambda: (nn.ELU()(x) ** 2).sum(), [x])
+
+    def test_activations_have_no_parameters(self):
+        for layer in (nn.ReLU(), nn.Tanh(), nn.Sigmoid(), nn.LeakyReLU()):
+            assert layer.parameters() == []
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = nn.Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_zero_p_is_identity_in_train(self):
+        layer = nn.Dropout(0.0)
+        x = nn.Tensor(np.ones(100))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_training_zeroes_and_scales(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(nn.Tensor(np.ones(10000))).data
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        # Mean preserved in expectation (inverted dropout).
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_gradient_masked(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(1))
+        x = nn.Tensor(np.ones(1000), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        zero_out = out.data == 0.0
+        np.testing.assert_allclose(x.grad[zero_out], 0.0)
+        np.testing.assert_allclose(x.grad[~zero_out], 2.0)
+
+
+class TestBatchNorm1d:
+    def test_normalises_in_training(self):
+        layer = nn.BatchNorm1d(3)
+        rng = np.random.default_rng(2)
+        x = nn.Tensor(rng.normal(5.0, 3.0, size=(64, 3)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        layer = nn.BatchNorm1d(2, momentum=1.0)
+        x = nn.Tensor(np.array([[1.0, 10.0], [3.0, 30.0]]))
+        layer(x)
+        np.testing.assert_allclose(layer.running_mean, [2.0, 20.0])
+
+    def test_eval_uses_running_stats(self):
+        layer = nn.BatchNorm1d(1, momentum=1.0)
+        layer(nn.Tensor(np.array([[0.0], [2.0]])))  # mean 1, var 1
+        layer.eval()
+        out = layer(nn.Tensor(np.array([[1.0]])))
+        np.testing.assert_allclose(out.data, [[0.0]], atol=1e-2)
+
+    def test_3d_input(self):
+        layer = nn.BatchNorm1d(4)
+        out = layer(nn.Tensor(np.random.default_rng(3).normal(size=(2, 4, 5))))
+        assert out.shape == (2, 4, 5)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(4)(nn.Tensor(np.ones((2, 4, 5, 6))))
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(4)
+        layer = nn.BatchNorm1d(3)
+        x = nn.Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        nn.check_gradients(
+            lambda: (layer(x) * layer(x)).mean(),
+            [x, layer.weight, layer.bias],
+            atol=1e-3,
+            rtol=1e-3,
+        )
+
+
+class TestBatchNorm2d:
+    def test_shape_and_normalisation(self):
+        layer = nn.BatchNorm2d(3)
+        x = nn.Tensor(np.random.default_rng(5).normal(2.0, 4.0, size=(4, 3, 5, 5)))
+        out = layer(x).data
+        assert out.shape == (4, 3, 5, 5)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-8)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(nn.Tensor(np.ones((4, 3))))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = nn.LayerNorm(8)
+        x = nn.Tensor(np.random.default_rng(6).normal(3.0, 2.0, size=(4, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(7)
+        layer = nn.LayerNorm(4)
+        x = nn.Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        nn.check_gradients(
+            lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias], atol=1e-3, rtol=1e-3
+        )
+
+
+class TestConvLayer:
+    def test_output_shape_helper(self):
+        conv = nn.Conv2d(1, 4, 3, padding=1, rng=np.random.default_rng(8))
+        assert conv.output_shape(9, 12) == (9, 12)
+        conv2 = nn.Conv2d(1, 4, 3, stride=2, rng=np.random.default_rng(8))
+        assert conv2.output_shape(9, 9) == (4, 4)
+
+    def test_forward_shape(self):
+        conv = nn.Conv2d(2, 5, (3, 1), padding=(1, 0), rng=np.random.default_rng(9))
+        out = conv(nn.Tensor(np.ones((3, 2, 7, 4))))
+        assert out.shape == (3, 5, 7, 4)
+
+    def test_flatten(self):
+        out = nn.Flatten()(nn.Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_pool_layers(self):
+        x = nn.Tensor(np.ones((1, 1, 4, 4)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert nn.AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+
+
+class TestContainers:
+    def test_sequential_runs_in_order(self):
+        rng = np.random.default_rng(10)
+        net = nn.Sequential(nn.Linear(3, 5, rng=rng), nn.ReLU(), nn.Linear(5, 2, rng=rng))
+        out = net(nn.Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+        assert len(net) == 3
+
+    def test_sequential_append_and_index(self):
+        net = nn.Sequential()
+        layer = nn.ReLU()
+        net.append(layer)
+        assert net[0] is layer
+        assert list(net) == [layer]
+
+    def test_sequential_registers_parameters(self):
+        rng = np.random.default_rng(11)
+        net = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Linear(2, 2, rng=rng))
+        assert len(net.parameters()) == 4
+
+    def test_module_list(self):
+        rng = np.random.default_rng(12)
+        modules = nn.ModuleList([nn.Linear(2, 2, rng=rng)])
+        modules.append(nn.Linear(2, 3, rng=rng))
+        assert len(modules) == 2
+        assert len(modules.parameters()) == 4
+        assert modules[1].out_features == 3
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([])(nn.Tensor([1.0]))

@@ -1,0 +1,124 @@
+"""Tests for LSTMCell and the multi-layer LSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = nn.LSTMCell(4, 8, rng=np.random.default_rng(0))
+        h, c = cell.initial_state(3)
+        assert h.shape == (3, 8) and c.shape == (3, 8)
+        h2, c2 = cell(nn.Tensor(np.ones((3, 4))), (h, c))
+        assert h2.shape == (3, 8) and c2.shape == (3, 8)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = nn.LSTMCell(2, 3, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(cell.bias.data[3:6], 1.0)
+        np.testing.assert_allclose(cell.bias.data[:3], 0.0)
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = nn.LSTMCell(4, 8, rng=np.random.default_rng(1))
+        h, c = cell.initial_state(2)
+        x = nn.Tensor(np.random.default_rng(2).normal(size=(2, 4)) * 10)
+        h, c = cell(x, (h, c))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_gate_math_matches_reference(self):
+        """One step with hand-set weights equals a numpy reference."""
+        cell = nn.LSTMCell(1, 1, rng=np.random.default_rng(3))
+        cell.weight_ih.data[:] = np.array([[0.5], [0.25], [1.0], [-0.5]])
+        cell.weight_hh.data[:] = np.zeros((4, 1))
+        cell.bias.data[:] = np.zeros(4)
+        x = np.array([[2.0]])
+        h, c = cell(nn.Tensor(x), cell.initial_state(1))
+
+        def sig(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        i, f, g, o = sig(1.0), sig(0.5), np.tanh(2.0), sig(-1.0)
+        c_ref = i * g
+        h_ref = o * np.tanh(c_ref)
+        np.testing.assert_allclose(c.data, [[c_ref]], atol=1e-12)
+        np.testing.assert_allclose(h.data, [[h_ref]], atol=1e-12)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(4)
+        cell = nn.LSTMCell(3, 2, rng=rng)
+        x = nn.Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def forward():
+            h, c = cell(x, cell.initial_state(2))
+            return (h * h).sum() + (c * c).sum()
+
+        nn.check_gradients(forward, [x, cell.weight_ih, cell.weight_hh, cell.bias])
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = nn.LSTM(5, [8, 6], rng=np.random.default_rng(5))
+        out, state = lstm(nn.Tensor(np.ones((3, 7, 5))))
+        assert out.shape == (3, 7, 6)
+        assert len(state) == 2
+        assert state[0][0].shape == (3, 8)
+        assert state[1][0].shape == (3, 6)
+
+    def test_int_hidden_with_num_layers(self):
+        lstm = nn.LSTM(4, 6, num_layers=3, rng=np.random.default_rng(6))
+        assert lstm.hidden_sizes == [6, 6, 6]
+        assert len(lstm.cells) == 3
+
+    def test_hidden_num_layers_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.LSTM(4, [6, 6], num_layers=3)
+
+    def test_rejects_2d_input(self):
+        lstm = nn.LSTM(4, [6], rng=np.random.default_rng(7))
+        with pytest.raises(ValueError):
+            lstm(nn.Tensor(np.ones((3, 4))))
+
+    def test_final_state_matches_last_output(self):
+        lstm = nn.LSTM(3, [5], rng=np.random.default_rng(8))
+        out, state = lstm(nn.Tensor(np.random.default_rng(9).normal(size=(2, 4, 3))))
+        np.testing.assert_allclose(out.data[:, -1, :], state[0][0].data)
+
+    def test_state_threading_continues_sequence(self):
+        """Processing a sequence in two halves equals one pass."""
+        rng = np.random.default_rng(10)
+        lstm = nn.LSTM(3, [4], rng=rng)
+        x = rng.normal(size=(2, 6, 3))
+        full, _ = lstm(nn.Tensor(x))
+        first, state = lstm(nn.Tensor(x[:, :3]))
+        second, _ = lstm(nn.Tensor(x[:, 3:]), state)
+        np.testing.assert_allclose(full.data[:, 3:], second.data, atol=1e-12)
+
+    def test_backward_through_time(self):
+        rng = np.random.default_rng(11)
+        lstm = nn.LSTM(3, [4], rng=rng)
+        x = nn.Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        out, _ = lstm(x)
+        (out * out).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == (2, 5, 3)
+        # Early timesteps must receive gradient (no vanishing to exactly 0).
+        assert np.abs(x.grad[:, 0]).max() > 0
+
+    def test_gradcheck_small(self):
+        rng = np.random.default_rng(12)
+        lstm = nn.LSTM(2, [2], rng=rng)
+        x = nn.Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+
+        def forward():
+            out, _ = lstm(x)
+            return (out * out).sum()
+
+        params = [x] + lstm.parameters()
+        nn.check_gradients(forward, params, atol=1e-3, rtol=1e-3)
+
+    def test_deterministic_given_rng(self):
+        a = nn.LSTM(3, [4], rng=np.random.default_rng(42))
+        b = nn.LSTM(3, [4], rng=np.random.default_rng(42))
+        x = nn.Tensor(np.ones((1, 2, 3)))
+        np.testing.assert_allclose(a(x)[0].data, b(x)[0].data)

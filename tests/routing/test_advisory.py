@@ -1,0 +1,96 @@
+"""Tests for the stay/divert route advisory layer."""
+
+import numpy as np
+import pytest
+
+from repro.routing import Detour, evaluate_advisories, predicted_speed_field
+from repro.routing.travel_time import traverse_time_minutes
+
+
+class TestDetour:
+    def test_time(self):
+        assert Detour(length_km=55.0, speed_kmh=55.0).time_minutes == pytest.approx(60.0)
+
+    @pytest.mark.parametrize("kwargs", [{"length_km": 0.0}, {"length_km": 5.0, "speed_kmh": 0.0}])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Detour(**kwargs)
+
+
+class TestEvaluateAdvisories:
+    def _detour_for(self, series, factor):
+        """A detour `factor` times the free-flow corridor time."""
+        free = traverse_time_minutes(
+            series.corridor,
+            np.full_like(series.speeds, 100.0),
+            0,
+            series.interval_minutes,
+        )
+        return Detour(length_km=free * factor / 60.0 * 55.0, speed_kmh=55.0)
+
+    def test_perfect_forecast_is_near_oracle(self, tiny_series):
+        detour = self._detour_for(tiny_series, factor=1.6)
+        starts = np.arange(0, tiny_series.num_steps - 50, 97)
+        outcome = evaluate_advisories(
+            tiny_series, tiny_series.speeds, starts, detour, margin_minutes=0.0
+        )
+        assert outcome.accuracy > 0.95
+        assert outcome.minutes_saved == pytest.approx(outcome.minutes_possible, abs=1e-6)
+
+    def test_oracle_saving_nonnegative(self, tiny_series):
+        detour = self._detour_for(tiny_series, factor=1.6)
+        starts = np.arange(0, tiny_series.num_steps - 50, 131)
+        outcome = evaluate_advisories(tiny_series, tiny_series.speeds, starts, detour)
+        assert outcome.minutes_possible >= 0.0
+        assert outcome.regret_minutes >= -1e-9
+
+    def test_terrible_forecast_loses_to_oracle(self, tiny_series):
+        detour = self._detour_for(tiny_series, factor=1.3)
+        starts = np.arange(0, tiny_series.num_steps - 50, 97)
+        # A forecast claiming permanent free flow never diverts.
+        free_flow = np.full_like(tiny_series.speeds, 100.0)
+        outcome = evaluate_advisories(tiny_series, free_flow, starts, detour, margin_minutes=0.0)
+        assert not outcome.decisions.any()
+        assert outcome.minutes_saved == 0.0
+
+    def test_margin_reduces_diversions(self, tiny_series):
+        detour = self._detour_for(tiny_series, factor=1.2)
+        starts = np.arange(0, tiny_series.num_steps - 50, 97)
+        eager = evaluate_advisories(tiny_series, tiny_series.speeds, starts, detour, 0.0)
+        cautious = evaluate_advisories(tiny_series, tiny_series.speeds, starts, detour, 30.0)
+        assert cautious.decisions.sum() <= eager.decisions.sum()
+
+    def test_render(self, tiny_series):
+        detour = self._detour_for(tiny_series, factor=1.5)
+        outcome = evaluate_advisories(
+            tiny_series, tiny_series.speeds, np.array([0, 300]), detour
+        )
+        text = outcome.render()
+        assert "accuracy" in text and "min" in text
+
+
+class TestPredictedSpeedField:
+    def test_replaces_only_target_row(self, tiny_dataset, micro_preset):
+        from repro import APOTS
+
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        field = predicted_speed_field(model, tiny_dataset)
+        series = tiny_dataset.series
+        target = series.corridor.target_index
+        other_rows = [i for i in range(series.num_segments) if i != target]
+        np.testing.assert_allclose(field[other_rows], series.speeds[other_rows])
+        assert not np.allclose(field[target], series.speeds[target])
+
+    def test_subset_restriction(self, tiny_dataset, micro_preset):
+        from repro import APOTS
+
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        field = predicted_speed_field(model, tiny_dataset, subsets=("test",))
+        series = tiny_dataset.series
+        target = series.corridor.target_index
+        test_steps = tiny_dataset.features.target_steps[tiny_dataset.split.test]
+        train_steps = tiny_dataset.features.target_steps[tiny_dataset.split.train]
+        assert not np.allclose(field[target, test_steps], series.speeds[target, test_steps])
+        np.testing.assert_allclose(field[target, train_steps], series.speeds[target, train_steps])

@@ -1,0 +1,90 @@
+"""Tests for travel-time integration."""
+
+import numpy as np
+import pytest
+
+from repro.routing import corridor_travel_times, segment_times_minutes, traverse_time_minutes
+from repro.traffic import Corridor
+
+
+@pytest.fixture(scope="module")
+def corridor():
+    return Corridor.gyeongbu(num_segments=5, rng=np.random.default_rng(0))
+
+
+class TestSegmentTimes:
+    def test_basic_arithmetic(self):
+        times = segment_times_minutes(np.array([60.0]), np.array([60.0]))
+        np.testing.assert_allclose(times, [60.0])  # 60 km at 60 km/h
+
+    def test_floor_prevents_infinity(self):
+        times = segment_times_minutes(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(times[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_times_minutes(np.ones(2), np.ones(3))
+
+
+class TestTraverse:
+    def test_constant_field_matches_sum(self, corridor):
+        field = np.full((5, 100), 100.0)
+        total_km = sum(s.length_km for s in corridor.segments)
+        expected = total_km / 100.0 * 60.0
+        assert traverse_time_minutes(corridor, field, 0) == pytest.approx(expected)
+
+    def test_slower_field_takes_longer(self, corridor):
+        fast = np.full((5, 100), 100.0)
+        slow = np.full((5, 100), 40.0)
+        assert traverse_time_minutes(corridor, slow, 0) > traverse_time_minutes(corridor, fast, 0)
+
+    def test_time_expansion_sees_future_columns(self, corridor):
+        """Congestion that appears after departure still affects arrival."""
+        field = np.full((5, 100), 100.0)
+        # Segment 4 collapses from step 1 onwards; a vehicle departing at
+        # step 0 reaches segment 4 minutes later and must see the jam.
+        field[4, 1:] = 5.0
+        jammed = traverse_time_minutes(corridor, field, 0)
+        free = traverse_time_minutes(corridor, np.full((5, 100), 100.0), 0)
+        assert jammed > free
+
+    def test_partial_range(self, corridor):
+        field = np.full((5, 50), 80.0)
+        partial = traverse_time_minutes(corridor, field, 0, start_segment=1, end_segment=2)
+        expected = sum(corridor.segments[i].length_km for i in (1, 2)) / 80.0 * 60.0
+        assert partial == pytest.approx(expected)
+
+    def test_start_step_out_of_range(self, corridor):
+        with pytest.raises(ValueError):
+            traverse_time_minutes(corridor, np.ones((5, 10)), 10)
+
+    def test_bad_field_shape(self, corridor):
+        with pytest.raises(ValueError):
+            traverse_time_minutes(corridor, np.ones((3, 10)), 0)
+
+    def test_bad_segment_range(self, corridor):
+        with pytest.raises(ValueError):
+            traverse_time_minutes(corridor, np.ones((5, 10)), 0, start_segment=3, end_segment=1)
+
+
+class TestCorridorTravelTimes:
+    def test_on_simulated_series(self, tiny_series):
+        starts = np.array([0, 100, 500])
+        times = corridor_travel_times(tiny_series, starts)
+        assert times.shape == (3,)
+        assert np.all(times > 0)
+
+    def test_rush_hour_slower_than_night(self, tiny_series):
+        hours = tiny_series.hours
+        weekday = tiny_series.day_types[:, 0] == 1
+        night = np.flatnonzero(weekday & (hours == 3))[:5]
+        morning = np.flatnonzero(weekday & (hours == 8))[:5]
+        night_times = corridor_travel_times(tiny_series, night)
+        morning_times = corridor_travel_times(tiny_series, morning)
+        assert morning_times.mean() > night_times.mean()
+
+    def test_custom_field(self, tiny_series):
+        constant = np.full_like(tiny_series.speeds, 100.0)
+        times = corridor_travel_times(tiny_series, np.array([0]), speed_field=constant)
+        total_km = sum(s.length_km for s in tiny_series.corridor.segments)
+        assert times[0] == pytest.approx(total_km / 100.0 * 60.0)

@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs end to end at micro scale."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.scenario as scenario
+from tests.conftest import MICRO_PRESET
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def micro_presets(monkeypatch):
+    """Force every preset name to the micro scale inside example runs.
+
+    Mutates the shared PRESETS dict in place so modules that imported it
+    by reference (the APOTS facade, the scenario helpers) see the patch.
+    """
+    from repro.core import config
+
+    for name in list(config.PRESETS):
+        monkeypatch.setitem(config.PRESETS, name, MICRO_PRESET)
+    scenario.clear_model_cache()
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    monkey_argv = [str(EXAMPLES / name)] + argv
+    old = sys.argv
+    sys.argv = monkey_argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "rush_hour_forecasting.py",
+        "accident_response.py",
+        "compare_baselines.py",
+        "factor_ablation.py",
+        "bring_your_own_data.py",
+        "route_guidance.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    run_example(script, ["smoke"])
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_prints_metrics(capsys):
+    run_example("quickstart.py", ["smoke"])
+    out = capsys.readouterr().out
+    assert "MAPE" in out
+    assert "APOTS_H" in out
+
+
+def test_compare_baselines_includes_prophet(capsys):
+    run_example("compare_baselines.py", ["smoke"])
+    out = capsys.readouterr().out
+    assert "Prophet" in out and "LastValue" in out
+
+
+def test_factor_ablation_ranks_factors(capsys):
+    run_example("factor_ablation.py", ["smoke", "F"])
+    out = capsys.readouterr().out
+    assert "single-factor impact ranking" in out

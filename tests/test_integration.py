@@ -1,0 +1,97 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import APOTS, FactorMask, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.nn import load_state, save_state
+
+
+class TestFullPipeline:
+    def test_simulate_train_evaluate(self, tiny_dataset, micro_preset):
+        """Simulator -> dataset -> adversarial APOTS_H -> regime metrics."""
+        model = APOTS(predictor="H", adversarial=True, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        report = model.evaluate(tiny_dataset)
+        assert np.isfinite(report.mape)
+        assert report.regime_counts["whole"] == len(tiny_dataset.split.test)
+
+    def test_trained_model_beats_untrained(self, tiny_dataset, micro_preset):
+        from repro.core.config import ScalePreset
+
+        longer = ScalePreset(
+            name="longer",
+            num_days=6,
+            width_factor=0.05,
+            epochs=8,
+            adversarial_epochs=2,
+            batch_size=64,
+            max_steps_per_epoch=20,
+        )
+        untrained = APOTS(predictor="F", adversarial=False, preset=longer, seed=0)
+        untrained_mape = untrained.evaluate(tiny_dataset).mape
+        trained = APOTS(predictor="F", adversarial=False, preset=longer, seed=0)
+        trained.fit(tiny_dataset)
+        assert trained.evaluate(tiny_dataset).mape < untrained_mape
+
+    def test_predictor_state_roundtrips_through_file(
+        self, tiny_dataset, micro_preset, tmp_path
+    ):
+        model = APOTS(predictor="C", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        predictions = model.predict(tiny_dataset)
+        save_state(model.predictor, tmp_path / "c.npz")
+
+        fresh = APOTS(predictor="C", adversarial=False, preset=micro_preset, seed=42)
+        load_state(fresh.predictor, tmp_path / "c.npz")
+        np.testing.assert_allclose(fresh.predict(tiny_dataset), predictions)
+
+    def test_pipeline_reproducible_from_seeds(self, micro_preset):
+        outputs = []
+        for _ in range(2):
+            series = simulate(SimulationConfig(num_days=6, seed=77))
+            dataset = TrafficDataset(series, FeatureConfig(), seed=3)
+            model = APOTS(predictor="F", adversarial=True, preset=micro_preset, seed=5)
+            model.fit(dataset)
+            outputs.append(model.predict(dataset))
+        np.testing.assert_allclose(outputs[0], outputs[1])
+
+    def test_masked_dataset_trains(self, tiny_series, micro_preset):
+        dataset = TrafficDataset(
+            tiny_series, FeatureConfig(mask=FactorMask.table2("SWT")), seed=5
+        )
+        model = APOTS(predictor="F", adversarial=True, preset=micro_preset, seed=0)
+        model.fit(dataset)
+        assert np.isfinite(model.evaluate(dataset).mape)
+
+    def test_different_geometry_pipeline(self, micro_preset):
+        """Non-default alpha/m flow end to end."""
+        series = simulate(SimulationConfig(num_days=6, seed=13))
+        features = FeatureConfig(alpha=6, beta=2, m=1)
+        dataset = TrafficDataset(series, features, seed=2)
+        model = APOTS(
+            predictor="L", features=features, adversarial=True, preset=micro_preset, seed=0
+        )
+        model.fit(dataset)
+        report = model.evaluate(dataset)
+        assert np.isfinite(report.mape)
+
+
+class TestCrossModelConsistency:
+    def test_all_predictors_share_evaluation_protocol(self, tiny_dataset, micro_preset):
+        truth, _ = tiny_dataset.evaluation_arrays("test")
+        for kind in "FLCH":
+            model = APOTS(predictor=kind, adversarial=False, preset=micro_preset, seed=0)
+            model.fit(tiny_dataset)
+            report = model.evaluate(tiny_dataset)
+            assert report.predictions_kmh.shape == truth.shape
+            np.testing.assert_allclose(report.targets_kmh, truth)
+
+    def test_baselines_and_neural_share_test_set(self, tiny_dataset, micro_preset):
+        from repro.baselines import LastValueBaseline
+
+        baseline_prediction = LastValueBaseline().fit(tiny_dataset).predict(tiny_dataset)
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(tiny_dataset)
+        neural_prediction = model.predict(tiny_dataset)
+        assert baseline_prediction.shape == neural_prediction.shape

@@ -1,0 +1,90 @@
+"""Tests for the Korean calendar utilities."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    KOREAN_HOLIDAYS_2018,
+    DayType,
+    day_type_flags,
+    is_holiday,
+    is_weekend,
+    timeline,
+)
+
+
+class TestHolidays:
+    def test_exactly_seven_holidays(self):
+        """The paper notes its 122-day dataset has only 7 holidays."""
+        assert len(KOREAN_HOLIDAYS_2018) == 7
+
+    def test_all_within_study_window(self):
+        for day in KOREAN_HOLIDAYS_2018:
+            assert dt.date(2018, 7, 1) <= day <= dt.date(2018, 10, 30)
+
+    def test_liberation_day(self):
+        assert is_holiday(dt.date(2018, 8, 15))
+
+    def test_ordinary_day(self):
+        assert not is_holiday(dt.date(2018, 7, 2))
+
+    def test_weekend(self):
+        assert is_weekend(dt.date(2018, 7, 7))  # Saturday
+        assert is_weekend(dt.date(2018, 7, 8))  # Sunday
+        assert not is_weekend(dt.date(2018, 7, 9))  # Monday
+
+
+class TestDayTypeFlags:
+    def test_plain_weekday(self):
+        flags = day_type_flags(dt.date(2018, 7, 3))  # Tuesday
+        assert flags == DayType(True, False, False, False)
+
+    def test_holiday_itself(self):
+        flags = day_type_flags(dt.date(2018, 8, 15))
+        assert flags.holiday and not flags.weekday
+
+    def test_paper_example_day_before_holiday(self):
+        """A weekday before a holiday encodes [1, 0, 1, 0]."""
+        flags = day_type_flags(dt.date(2018, 8, 14))  # Tuesday before Aug 15
+        np.testing.assert_array_equal(flags.as_array(), [1.0, 0.0, 1.0, 0.0])
+
+    def test_day_after_holiday(self):
+        flags = day_type_flags(dt.date(2018, 8, 16))
+        np.testing.assert_array_equal(flags.as_array(), [1.0, 0.0, 0.0, 1.0])
+
+    def test_inside_chuseok_run_is_before_and_after(self):
+        flags = day_type_flags(dt.date(2018, 9, 24))  # middle of Chuseok
+        assert flags.holiday and flags.day_before_holiday and flags.day_after_holiday
+
+    def test_weekend_is_not_weekday(self):
+        flags = day_type_flags(dt.date(2018, 7, 7))
+        assert not flags.weekday and not flags.holiday
+
+    def test_as_array_dtype(self):
+        assert day_type_flags(dt.date(2018, 7, 3)).as_array().dtype == np.float64
+
+
+class TestTimeline:
+    def test_length_per_day(self):
+        stamps = timeline(dt.date(2018, 7, 1), 2, interval_minutes=5)
+        assert len(stamps) == 2 * 288
+
+    def test_cadence(self):
+        stamps = timeline(dt.date(2018, 7, 1), 1, interval_minutes=5)
+        assert stamps[1] - stamps[0] == dt.timedelta(minutes=5)
+        assert stamps[0] == dt.datetime(2018, 7, 1, 0, 0)
+        assert stamps[-1] == dt.datetime(2018, 7, 1, 23, 55)
+
+    def test_other_interval(self):
+        stamps = timeline(dt.date(2018, 7, 1), 1, interval_minutes=15)
+        assert len(stamps) == 96
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            timeline(dt.date(2018, 7, 1), 0)
+
+    def test_interval_must_divide_day(self):
+        with pytest.raises(ValueError):
+            timeline(dt.date(2018, 7, 1), 1, interval_minutes=7)

@@ -1,0 +1,92 @@
+"""Tests for traffic series serialisation and raw-array ingestion."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.data import FeatureConfig, TrafficDataset
+from repro.traffic import load_series, save_series, series_from_arrays
+
+
+class TestSaveLoad:
+    def test_roundtrip_identical(self, tiny_series, tmp_path):
+        path = save_series(tiny_series, tmp_path / "series.npz")
+        loaded = load_series(path)
+        np.testing.assert_allclose(loaded.speeds, tiny_series.speeds)
+        np.testing.assert_allclose(loaded.precipitation, tiny_series.precipitation)
+        np.testing.assert_allclose(loaded.day_types, tiny_series.day_types)
+        assert loaded.timestamps == tiny_series.timestamps
+        assert loaded.interval_minutes == tiny_series.interval_minutes
+
+    def test_corridor_metadata_roundtrips(self, tiny_series, tmp_path):
+        path = save_series(tiny_series, tmp_path / "series.npz")
+        loaded = load_series(path)
+        assert loaded.corridor.target_index == tiny_series.corridor.target_index
+        assert len(loaded.corridor) == len(tiny_series.corridor)
+        assert loaded.corridor.target.name == tiny_series.corridor.target.name
+
+    def test_loaded_series_feeds_pipeline(self, tiny_series, tmp_path):
+        path = save_series(tiny_series, tmp_path / "series.npz")
+        loaded = load_series(path)
+        dataset = TrafficDataset(loaded, FeatureConfig(), seed=1)
+        assert dataset.features.num_windows > 0
+
+
+class TestSeriesFromArrays:
+    def _speeds(self, segments=5, total=600, seed=0):
+        rng = np.random.default_rng(seed)
+        base = 90.0 + 5.0 * np.sin(np.arange(total) / 50.0)
+        return np.clip(base[None, :] + rng.normal(0, 3, size=(segments, total)), 10, 110)
+
+    def test_minimal_construction(self):
+        speeds = self._speeds()
+        series = series_from_arrays(speeds, start=dt.datetime(2018, 7, 1))
+        assert series.num_segments == 5
+        assert series.num_steps == 600
+        assert series.corridor.target_index == 2
+        np.testing.assert_allclose(series.temperature, 20.0)
+        np.testing.assert_allclose(series.events, 0.0)
+
+    def test_calendar_channels_derived(self):
+        speeds = self._speeds(total=288 * 2)
+        series = series_from_arrays(speeds, start=dt.datetime(2018, 8, 14))
+        # Aug 14 2018 is a weekday before a holiday: [1, 0, 1, 0].
+        np.testing.assert_array_equal(series.day_types[0], [1.0, 0.0, 1.0, 0.0])
+        # Aug 15 is the holiday itself.
+        assert series.day_types[288][1] == 1.0
+        assert series.hours[0] == 0 and series.hours[13] == 1
+
+    def test_optional_channels_validated(self):
+        speeds = self._speeds()
+        with pytest.raises(ValueError, match="channel shape"):
+            series_from_arrays(
+                speeds, start=dt.datetime(2018, 7, 1), temperature=np.zeros(10)
+            )
+
+    def test_rejects_1d_speeds(self):
+        with pytest.raises(ValueError, match="matrix"):
+            series_from_arrays(np.zeros(100), start=dt.datetime(2018, 7, 1))
+
+    def test_free_flow_from_percentile(self):
+        speeds = self._speeds()
+        series = series_from_arrays(speeds, start=dt.datetime(2018, 7, 1))
+        assert series.corridor.target.free_flow_kmh == pytest.approx(
+            np.percentile(speeds, 95), rel=0.01
+        )
+
+    def test_end_to_end_training_on_user_data(self, micro_preset):
+        """A user's raw speed matrix trains an APOTS model."""
+        from repro import APOTS
+
+        speeds = self._speeds(total=288 * 6, seed=3)
+        series = series_from_arrays(speeds, start=dt.datetime(2018, 7, 2))
+        dataset = TrafficDataset(series, FeatureConfig(), seed=0)
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+        model.fit(dataset)
+        assert np.isfinite(model.evaluate(dataset).mape)
+
+    def test_custom_target_index(self):
+        speeds = self._speeds()
+        series = series_from_arrays(speeds, start=dt.datetime(2018, 7, 1), target_index=1)
+        assert series.corridor.target_index == 1

@@ -1,0 +1,67 @@
+"""Tests for the synthetic weather generator."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.traffic import WeatherModel, generate_weather, timeline
+
+
+def stamps_for(month: int, days: int = 10):
+    return timeline(dt.date(2018, month, 1), days)
+
+
+class TestWeatherModel:
+    def test_output_shapes(self):
+        stamps = stamps_for(7, days=2)
+        temp, precip = generate_weather(stamps, np.random.default_rng(0))
+        assert temp.shape == (len(stamps),)
+        assert precip.shape == (len(stamps),)
+
+    def test_reproducible(self):
+        stamps = stamps_for(7, days=2)
+        a = generate_weather(stamps, np.random.default_rng(5))
+        b = generate_weather(stamps, np.random.default_rng(5))
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_summer_is_hot(self):
+        stamps = stamps_for(8, days=5)
+        temp, _ = generate_weather(stamps, np.random.default_rng(1))
+        assert 20.0 < temp.mean() < 35.0
+
+    def test_october_cooler_than_august(self):
+        rng = np.random.default_rng(2)
+        august, _ = generate_weather(stamps_for(8, days=7), rng)
+        october, _ = generate_weather(stamps_for(10, days=7), np.random.default_rng(2))
+        assert october.mean() < august.mean() - 3.0
+
+    def test_diurnal_cycle_afternoon_warmer_than_night(self):
+        stamps = stamps_for(7, days=10)
+        temp, _ = generate_weather(stamps, np.random.default_rng(3))
+        hours = np.array([s.hour for s in stamps])
+        assert temp[hours == 15].mean() > temp[hours == 4].mean() + 2.0
+
+    def test_precipitation_non_negative(self):
+        _, precip = generate_weather(stamps_for(7, days=10), np.random.default_rng(4))
+        assert np.all(precip >= 0.0)
+
+    def test_monsoon_wetter_than_autumn(self):
+        july = generate_weather(stamps_for(7, days=20), np.random.default_rng(6))[1]
+        october = generate_weather(stamps_for(10, days=20), np.random.default_rng(6))[1]
+        assert (july > 0).mean() > (october > 0).mean()
+
+    def test_rain_comes_in_episodes(self):
+        """Wet steps cluster: consecutive-wet probability far exceeds base rate."""
+        _, precip = generate_weather(stamps_for(7, days=30), np.random.default_rng(7))
+        wet = precip > 0
+        if wet.sum() > 10:
+            joint = (wet[1:] & wet[:-1]).mean()
+            assert joint > wet.mean() ** 2 * 2.0
+
+    def test_seasonal_mean_temperature_peaks_in_august(self):
+        model = WeatherModel()
+        august = model.seasonal_mean_temperature(dt.date(2018, 8, 1))
+        october = model.seasonal_mean_temperature(dt.date(2018, 10, 25))
+        assert august > 27.0
+        assert october < 18.0

@@ -1,0 +1,62 @@
+"""Run the full medium-scale experiment suite and dump raw renders.
+
+Order matters: table3 populates the model cache that fig4/fig5/fig6
+reuse.  Table II runs at a reduced adversarial budget (documented in
+EXPERIMENTS.md) because it needs 8 adversarial Hybrid trainings.
+
+Usage: python tools/run_experiments_suite.py [output-file] [preset]
+"""
+
+import dataclasses
+import sys
+import time
+
+from repro.core.config import PRESETS
+from repro.experiments import ablations, fig1, fig4, fig5, fig6, table2, table3
+
+OUT = sys.argv[1] if len(sys.argv) > 1 else "experiments_raw.txt"
+PRESET = sys.argv[2] if len(sys.argv) > 2 else "medium"
+
+
+def main() -> None:
+    stream = open(OUT, "w", buffering=1)
+    started = time.time()
+
+    def emit(text: str) -> None:
+        stamp = time.time() - started
+        stream.write(f"\n===== [{stamp:7.1f}s] {text}\n")
+        print(f"[{stamp:7.1f}s] {text}", flush=True)
+
+    def run(name, func, **kwargs):
+        emit(f"BEGIN {name}")
+        result = func(preset=kwargs.pop("preset", PRESET), **kwargs)
+        emit(f"RESULT {name}")
+        stream.write(result.render() + "\n")
+        return result
+
+    run("fig1", fig1.run)
+    t3 = run("table3", table3.run)
+    run("fig4", fig4.run)
+    run("fig5", fig5.run)
+    run("fig6", fig6.run)
+
+    table2_preset = dataclasses.replace(PRESETS[PRESET], adversarial_epochs=6) \
+        if PRESET in PRESETS else PRESET
+    run("table2", table2.run, preset=table2_preset)
+
+    run("ablation_loss_ratio", ablations.loss_ratio_ablation)
+    run("ablation_disc_input", ablations.discriminator_input_ablation)
+    run("ablation_conditioning", ablations.conditioning_ablation)
+    run("ablation_adjacency", ablations.adjacency_ablation)
+    run("ablation_horizon", ablations.horizon_ablation)
+
+    emit("extra: t-tests and best model")
+    stream.write(f"adversarial t-test: {t3.adversarial_t_test()}\n")
+    stream.write(f"additional-data t-test: {t3.additional_data_t_test()}\n")
+    stream.write(f"best model: {t3.best_model()}\n")
+    emit("DONE")
+    stream.close()
+
+
+if __name__ == "__main__":
+    main()
