@@ -1,0 +1,140 @@
+"""Serving-layer benchmark: micro-batch throughput and cache efficiency.
+
+Serves a 68-segment corridor from one trained checkpoint and replays a
+synthetic observation stream, comparing
+
+* a per-request loop (one forward per segment query) against the
+  micro-batched ``predict_many`` path — the batched path must be at
+  least 5x faster per forecast; and
+* a repeated-query replay (many dashboard users per tick) — the
+  TTL+LRU forecast cache must absorb > 90 % of requests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import APOTS, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.serving import ForecastService, Observation
+from repro.traffic import Corridor
+
+from conftest import BENCH_SEED, report, run_once
+
+#: Corridor served online; m=2 leaves NUM_SEGMENTS - 4 servable segments.
+NUM_SEGMENTS = 68
+WARMUP_TICKS = 12
+MEASURE_TICKS = 30
+#: Dashboard queries per segment per tick in the cache replay.
+QUERIES_PER_TICK = 12
+
+
+@pytest.fixture(scope="module")
+def serving_model(bench_preset):
+    """The paper's H (CNN+LSTM) predictor trained offline."""
+    series = simulate(SimulationConfig(num_days=8, seed=BENCH_SEED))
+    dataset = TrafficDataset(series, FeatureConfig(alpha=12, beta=1, m=2), seed=0)
+    model = APOTS(predictor="H", adversarial=False, preset=bench_preset, seed=0)
+    model.fit(dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def stream_series():
+    """One day of observations for the big served corridor."""
+    corridor = Corridor.gyeongbu(num_segments=NUM_SEGMENTS)
+    return simulate(SimulationConfig(num_days=1, seed=BENCH_SEED + 1), corridor=corridor)
+
+
+def feed(service: ForecastService, series, steps) -> None:
+    for step in steps:
+        service.ingest_many(
+            Observation(
+                segment_id=segment,
+                step=step,
+                speed_kmh=float(series.speeds[segment, step]),
+                event=float(series.events[segment, step]),
+                temperature=float(series.temperature[step]),
+                precipitation=float(series.precipitation[step]),
+                day_type=tuple(series.day_types[step]),
+            )
+            for segment in range(series.num_segments)
+        )
+
+
+def test_bench_micro_batch_throughput(benchmark, serving_model, stream_series):
+    service = ForecastService(serving_model, num_segments=NUM_SEGMENTS, max_batch_size=64)
+    servable = list(range(2, NUM_SEGMENTS - 2))
+    feed(service, stream_series, range(WARMUP_TICKS))
+    predictor = serving_model.predictor
+
+    def replay() -> dict:
+        # Phase A: per-request loop — one forward per queried segment.
+        loop_seconds = 0.0
+        tick = WARMUP_TICKS
+        for tick in range(WARMUP_TICKS, WARMUP_TICKS + MEASURE_TICKS):
+            feed(service, stream_series, [tick])
+            start = time.perf_counter()
+            for segment in servable:
+                view = service.store.window(segment)
+                predictor.predict(view.image[None], view.day_type[None], view.flat[None])
+            loop_seconds += time.perf_counter() - start
+        # Phase B: the same workload through the micro-batcher.
+        batched_seconds = 0.0
+        for tick in range(tick + 1, tick + 1 + MEASURE_TICKS):
+            feed(service, stream_series, [tick])
+            start = time.perf_counter()
+            service.predict_many(servable, use_cache=False)
+            batched_seconds += time.perf_counter() - start
+        forecasts = MEASURE_TICKS * len(servable)
+        return {
+            "loop_per_s": forecasts / loop_seconds,
+            "batched_per_s": forecasts / batched_seconds,
+            "speedup": loop_seconds / batched_seconds,
+            "snapshot": service.snapshot(),
+        }
+
+    result = run_once(benchmark, replay)
+    snap = result["snapshot"]
+    batch_sizes = snap["histograms"]["batch_size"]
+    latency = snap["histograms"]["predict_many_latency_ms"]
+    report(
+        "## Serving: micro-batch throughput "
+        f"({len(servable)} segments x {MEASURE_TICKS} ticks)\n"
+        f"per-request loop : {result['loop_per_s']:10.0f} forecasts/s\n"
+        f"predict_many     : {result['batched_per_s']:10.0f} forecasts/s\n"
+        f"speedup          : {result['speedup']:10.1f}x (required >= 5x)\n"
+        f"batch size       : mean {batch_sizes['mean']:.1f}, max {batch_sizes['max']:.0f}\n"
+        f"predict_many lat : p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms"
+    )
+    assert result["speedup"] >= 5.0
+
+
+def test_bench_cache_hit_rate(benchmark, serving_model, stream_series):
+    service = ForecastService(serving_model, num_segments=NUM_SEGMENTS, max_batch_size=64)
+    servable = list(range(2, NUM_SEGMENTS - 2))
+    feed(service, stream_series, range(WARMUP_TICKS))
+
+    def replay() -> dict:
+        # Every tick, QUERIES_PER_TICK dashboard users ask for the whole
+        # corridor; only the first user per tick should compute anything.
+        for tick in range(WARMUP_TICKS, WARMUP_TICKS + MEASURE_TICKS):
+            feed(service, stream_series, [tick])
+            for _ in range(QUERIES_PER_TICK):
+                service.predict_many(servable)
+        return service.snapshot()
+
+    snap = run_once(benchmark, replay)
+    cache = snap["cache"]
+    latency = snap["histograms"]["predict_many_latency_ms"]
+    report(
+        "## Serving: cache efficiency on a repeated-query replay "
+        f"({QUERIES_PER_TICK} queries/segment/tick)\n"
+        f"requests  : {snap['counters']['requests']:.0f}\n"
+        f"hit rate  : {cache['hit_rate']:.3f} (required > 0.9)\n"
+        f"cache size: {cache['size']} entries, "
+        f"{cache['lru_evictions']} LRU / {cache['ttl_evictions']} TTL evictions\n"
+        f"predict_many lat: p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms"
+    )
+    assert cache["hit_rate"] > 0.9

@@ -19,10 +19,14 @@ Subpackages
     MAE / RMSE / MAPE, abrupt-change regimes (Eq 7/8), gains (Eq 9).
 ``repro.experiments``
     Harness regenerating every table and figure of Section V.
+``repro.serving``
+    Online forecast serving: rolling state ingestion, micro-batching,
+    forecast caching and telemetry around a trained checkpoint.
 """
 
 from .core import APOTS, EvaluationReport
 from .data import FactorMask, FeatureConfig, TrafficDataset
+from .serving import Forecast, ForecastService, Observation
 from .traffic import SimulationConfig, TrafficSeries, simulate
 
 __version__ = "1.0.0"
@@ -36,5 +40,8 @@ __all__ = [
     "SimulationConfig",
     "TrafficSeries",
     "simulate",
+    "Forecast",
+    "ForecastService",
+    "Observation",
     "__version__",
 ]

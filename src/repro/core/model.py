@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.dataset import TrafficDataset
-from ..data.features import FeatureConfig
+from ..data.features import FeatureConfig, FeatureScalers
 from ..metrics.errors import all_errors
 from ..metrics.regimes import RegimeMasks, classify_regimes
 from .adversarial import AdversarialHistory, APOTSTrainer
@@ -119,6 +119,10 @@ class APOTS:
                 self.features, spec=spec, conditional=conditional, rng=rng
             )
         self.history: TrainHistory | AdversarialHistory | None = None
+        #: Train-fitted feature scalers, recorded by :meth:`fit` (and by
+        #: checkpoint loading) so that online serving can transform raw
+        #: km/h observations exactly as training did.
+        self.scalers: FeatureScalers | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +146,7 @@ class APOTS:
     def fit(self, dataset: TrafficDataset, verbose: bool = False) -> "APOTS":
         """Train on the dataset's train split; returns self."""
         self._check_dataset(dataset)
+        self.scalers = dataset.features.scalers
         if self.adversarial:
             assert self.discriminator is not None
             trainer = APOTSTrainer(self.predictor, self.discriminator, self.train_spec)

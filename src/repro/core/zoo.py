@@ -12,16 +12,22 @@ import dataclasses
 import json
 from pathlib import Path
 
-from ..data.features import FactorMask, FeatureConfig
+from ..data.features import FactorMask, FeatureConfig, FeatureScalers
 from ..nn import load_state, save_state
 from .config import ModelSpec, PRESETS, ScalePreset
 from .model import APOTS
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "FORMAT_VERSION", "SUPPORTED_FORMAT_VERSIONS"]
 
 _MANIFEST = "manifest.json"
 _PREDICTOR = "predictor.npz"
 _DISCRIMINATOR = "discriminator.npz"
+
+#: Version written by :func:`save_model`.  v2 added the fitted feature
+#: scalers; v1 checkpoints (weights only) are still readable but cannot
+#: reproduce inference on raw km/h inputs.
+FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 
 def _features_to_dict(features: FeatureConfig) -> dict:
@@ -63,7 +69,8 @@ def save_model(model: APOTS, directory: str | Path) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     manifest = {
-        "format_version": 1,
+        "format_version": FORMAT_VERSION,
+        "scalers": model.scalers.state_dict() if model.scalers is not None else None,
         "kind": model.kind,
         "adversarial": model.adversarial,
         "conditional": model.discriminator.conditional if model.discriminator else None,
@@ -87,8 +94,13 @@ def load_model(directory: str | Path) -> APOTS:
     if not manifest_path.exists():
         raise FileNotFoundError(f"no APOTS checkpoint at {directory}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != 1:
-        raise ValueError(f"unsupported checkpoint version {manifest.get('format_version')}")
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(
+            f"unsupported checkpoint format version {version!r} at {directory}; "
+            f"this build reads versions {SUPPORTED_FORMAT_VERSIONS} — re-save the "
+            f"checkpoint with a matching repro release"
+        )
 
     preset = ScalePreset(**manifest["preset_values"])
     model = APOTS(
@@ -100,6 +112,9 @@ def load_model(directory: str | Path) -> APOTS:
         model_spec=_spec_from_dict(manifest["spec"]) if manifest.get("spec") else None,
         seed=manifest["seed"],
     )
+    scalers_state = manifest.get("scalers")
+    if scalers_state is not None:
+        model.scalers = FeatureScalers.from_state(scalers_state)
     load_state(model.predictor, directory / _PREDICTOR)
     if model.discriminator is not None:
         load_state(model.discriminator, directory / _DISCRIMINATOR)

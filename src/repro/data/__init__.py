@@ -9,7 +9,7 @@ from .features import (
     build_features,
     fit_scalers,
 )
-from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler
+from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler, scaler_from_state
 from .split import SplitIndices, consecutive_runs, split_windows
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "LogStandardScaler",
     "MinMaxScaler",
     "StandardScaler",
+    "scaler_from_state",
     "SplitIndices",
     "consecutive_runs",
     "split_windows",

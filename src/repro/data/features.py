@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..traffic.types import TrafficSeries
-from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler
+from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler, scaler_from_state
 
 __all__ = [
     "FactorMask",
@@ -152,6 +152,22 @@ class FeatureScalers:
     speed: MinMaxScaler
     temperature: StandardScaler
     precipitation: LogStandardScaler
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of all fitted scaler parameters."""
+        return {
+            "speed": self.speed.state_dict(),
+            "temperature": self.temperature.state_dict(),
+            "precipitation": self.precipitation.state_dict(),
+        }
+
+    @staticmethod
+    def from_state(state: dict) -> "FeatureScalers":
+        return FeatureScalers(
+            speed=scaler_from_state(state["speed"]),
+            temperature=scaler_from_state(state["temperature"]),
+            precipitation=scaler_from_state(state["precipitation"]),
+        )
 
 
 @dataclass

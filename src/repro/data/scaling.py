@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MinMaxScaler", "StandardScaler", "LogStandardScaler"]
+__all__ = ["MinMaxScaler", "StandardScaler", "LogStandardScaler", "scaler_from_state"]
 
 
 class MinMaxScaler:
@@ -18,6 +18,14 @@ class MinMaxScaler:
     def __init__(self):
         self.minimum: float | None = None
         self.maximum: float | None = None
+
+    def state_dict(self) -> dict:
+        return {"kind": "MinMaxScaler", "minimum": self.minimum, "maximum": self.maximum}
+
+    def load_state_dict(self, state: dict) -> "MinMaxScaler":
+        self.minimum = state["minimum"]
+        self.maximum = state["maximum"]
+        return self
 
     def fit(self, values: np.ndarray) -> "MinMaxScaler":
         values = np.asarray(values, dtype=np.float64)
@@ -46,12 +54,34 @@ class MinMaxScaler:
         return self.fit(values).transform(values)
 
 
+def scaler_from_state(state: dict):
+    """Rebuild a scaler from its :meth:`state_dict` payload."""
+    kinds = {
+        "MinMaxScaler": MinMaxScaler,
+        "StandardScaler": StandardScaler,
+        "LogStandardScaler": LogStandardScaler,
+    }
+    try:
+        cls = kinds[state["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown scaler kind {state.get('kind')!r}") from None
+    return cls().load_state_dict(state)
+
+
 class StandardScaler:
     """Zero-mean unit-variance scaling."""
 
     def __init__(self):
         self.mean: float | None = None
         self.std: float | None = None
+
+    def state_dict(self) -> dict:
+        return {"kind": "StandardScaler", "mean": self.mean, "std": self.std}
+
+    def load_state_dict(self, state: dict) -> "StandardScaler":
+        self.mean = state["mean"]
+        self.std = state["std"]
+        return self
 
     def fit(self, values: np.ndarray) -> "StandardScaler":
         values = np.asarray(values, dtype=np.float64)
@@ -85,6 +115,13 @@ class LogStandardScaler:
 
     def __init__(self):
         self._inner = StandardScaler()
+
+    def state_dict(self) -> dict:
+        return {"kind": "LogStandardScaler", "inner": self._inner.state_dict()}
+
+    def load_state_dict(self, state: dict) -> "LogStandardScaler":
+        self._inner.load_state_dict(state["inner"])
+        return self
 
     def fit(self, values: np.ndarray) -> "LogStandardScaler":
         self._inner.fit(np.log1p(np.asarray(values, dtype=np.float64)))

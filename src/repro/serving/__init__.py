@@ -1,0 +1,43 @@
+"""``repro.serving`` — online forecast serving for trained APOTS models.
+
+Turns a checkpoint into a live service: rolling per-segment state
+ingestion (:mod:`state`), request coalescing (:mod:`batcher`), TTL+LRU
+forecast caching (:mod:`cache`), the :class:`ForecastService` facade
+(:mod:`service`) and counters/latency histograms (:mod:`telemetry`).
+
+This layer is experiment-free by construction: it may depend on
+``repro.core`` / ``repro.data`` / ``repro.nn`` but never on
+``repro.experiments`` (enforced by ``tools/check_imports.py``).
+"""
+
+from .batcher import MicroBatcher, PendingForecast
+from .cache import ForecastCache
+from .errors import (
+    IncompleteWindowError,
+    ServingError,
+    StaleObservationError,
+    StreamGapError,
+    UnknownSegmentError,
+)
+from .service import Forecast, ForecastService
+from .state import Observation, SegmentStateStore, WindowView
+from .telemetry import Counter, Histogram, Telemetry
+
+__all__ = [
+    "MicroBatcher",
+    "PendingForecast",
+    "ForecastCache",
+    "ServingError",
+    "UnknownSegmentError",
+    "StaleObservationError",
+    "StreamGapError",
+    "IncompleteWindowError",
+    "Forecast",
+    "ForecastService",
+    "Observation",
+    "SegmentStateStore",
+    "WindowView",
+    "Counter",
+    "Histogram",
+    "Telemetry",
+]

@@ -1,0 +1,97 @@
+"""TTL + LRU forecast cache.
+
+Keys are ``(segment_id, horizon, window fingerprint)``: the fingerprint
+covers the exact window contents and end step, so any new observation
+that advances a segment's window invalidates its cached forecasts simply
+by changing the key.  The TTL (default: one 5-minute tick) bounds how
+long a forecast for a *stalled* stream keeps being served, and the LRU
+capacity bounds memory when fingerprints churn every tick.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+__all__ = ["ForecastCache"]
+
+
+class ForecastCache:
+    """A small OrderedDict-backed TTL+LRU cache.
+
+    ``capacity == 0`` disables the cache entirely (every get misses,
+    puts are dropped) — handy for benchmarking the uncached path.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity cannot be negative")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[object, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.ttl_evictions = 0
+        self.lru_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        entry = self._entries.get(key)
+        return entry is not None and entry[1] > self._clock()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached value, or None; refreshes LRU recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, expires_at = entry
+        if expires_at <= self._clock():
+            del self._entries[key]
+            self.ttl_evictions += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = (value, self._clock() + self.ttl_seconds)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.lru_evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "ttl_evictions": self.ttl_evictions,
+            "lru_evictions": self.lru_evictions,
+        }

@@ -1,0 +1,311 @@
+"""The :class:`ForecastService` facade: store → batcher → model → cache.
+
+Wiring (one instance serves one corridor):
+
+* :meth:`ForecastService.ingest` feeds observations into the
+  :class:`~repro.serving.state.SegmentStateStore`;
+* :meth:`ForecastService.predict` / :meth:`~ForecastService.predict_many`
+  answer "what is segment s's speed ``beta`` ticks from now?" — cache
+  first, then one coalesced forward through the
+  :class:`~repro.serving.batcher.MicroBatcher`;
+* :meth:`ForecastService.load_checkpoint` hot-swaps the model mid-stream
+  from a :mod:`repro.core.zoo` checkpoint (format v2, which carries the
+  fitted scalers).
+
+Degradation policy (also documented in DESIGN.md): a query the model
+cannot answer falls back to the *naive persistence forecast* — the
+segment's last observed speed — and is flagged ``degraded`` with a
+reason.  This covers segments whose window is still warming up or lags
+its neighbours, corridor-edge segments that lack ``m`` neighbours on a
+side, and horizons the model was not trained for.  Only a segment with
+no observations at all is a hard :class:`IncompleteWindowError`: there
+is nothing defensible to say about it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.model import APOTS
+from ..core.zoo import load_model
+from ..data.features import FeatureScalers
+from .batcher import MicroBatcher, PendingForecast
+from .cache import ForecastCache
+from .errors import IncompleteWindowError
+from .state import Observation, SegmentStateStore, WindowView
+from .telemetry import Telemetry
+
+__all__ = ["Forecast", "ForecastService"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """One answered query."""
+
+    segment_id: int
+    target_step: int
+    horizon_steps: int
+    speed_kmh: float
+    source: str  # "model" | "naive"
+    degraded: bool = False
+    degraded_reason: str | None = None
+    from_cache: bool = False
+
+
+class ForecastService:
+    """Online forecast serving for one corridor and one APOTS model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.model.APOTS` whose ``scalers`` are
+        set (``fit()`` sets them; so does loading a format-v2 checkpoint).
+    num_segments:
+        Corridor length the observation stream indexes into.
+    max_batch_size, linger_seconds, pad_batches:
+        Micro-batching knobs (see :mod:`repro.serving.batcher`).
+    cache_capacity, cache_ttl_seconds:
+        Forecast cache sizing; TTL defaults to one 5-minute tick.
+    interval_minutes, store_capacity:
+        Stream geometry, forwarded to the state store.
+    clock:
+        Injectable monotonic clock (tests use a fake one).
+    """
+
+    def __init__(
+        self,
+        model: APOTS,
+        num_segments: int,
+        *,
+        scalers: FeatureScalers | None = None,
+        max_batch_size: int = 64,
+        linger_seconds: float = 0.0,
+        pad_batches: bool = True,
+        cache_capacity: int = 4096,
+        cache_ttl_seconds: float = 300.0,
+        interval_minutes: int = 5,
+        store_capacity: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        scalers = scalers if scalers is not None else model.scalers
+        if scalers is None:
+            raise ValueError(
+                "model has no fitted feature scalers; fit() it on a dataset or "
+                "load a format-v2 checkpoint (v1 checkpoints lack scaler state)"
+            )
+        self._model = model
+        self._scalers = scalers
+        self.telemetry = Telemetry()
+        self.store = SegmentStateStore(
+            num_segments,
+            model.features,
+            scalers,
+            interval_minutes=interval_minutes,
+            capacity=store_capacity,
+        )
+        self.cache = ForecastCache(
+            capacity=cache_capacity, ttl_seconds=cache_ttl_seconds, clock=clock
+        )
+        self.batcher = MicroBatcher(
+            self._forward,
+            max_batch_size=max_batch_size,
+            linger_seconds=linger_seconds,
+            pad_batches=pad_batches,
+            telemetry=self.telemetry,
+            clock=clock,
+        )
+
+    @classmethod
+    def from_checkpoint(cls, directory: str | Path, num_segments: int, **kwargs) -> "ForecastService":
+        """Build a service straight from a zoo checkpoint directory."""
+        return cls(load_model(directory), num_segments, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> APOTS:
+        return self._model
+
+    def _forward(self, images: np.ndarray, day_types: np.ndarray, flat: np.ndarray) -> np.ndarray:
+        return self._model.predictor.predict(images, day_types, flat)
+
+    def _to_kmh(self, scaled: float) -> float:
+        return float(self._scalers.speed.inverse_transform(np.asarray([scaled]))[0])
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, observation: Observation) -> None:
+        self.store.ingest(observation)
+        self.telemetry.counter("observations").inc()
+
+    def ingest_many(self, observations: Iterable[Observation]) -> int:
+        count = self.store.ingest_many(observations)
+        self.telemetry.counter("observations").inc(count)
+        return count
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _naive(self, segment_id: int, horizon: int, reason: str) -> Forecast:
+        self.telemetry.counter("degraded_forecasts").inc()
+        latest = self.store.latest_step(segment_id)
+        return Forecast(
+            segment_id=segment_id,
+            target_step=(latest if latest is not None else 0) + horizon,
+            horizon_steps=horizon,
+            speed_kmh=self.store.last_speed_kmh(segment_id),
+            source="naive",
+            degraded=True,
+            degraded_reason=reason,
+        )
+
+    def _resolve(
+        self, segment_id: int, horizon: int, use_cache: bool
+    ) -> tuple[Forecast | None, tuple | None, WindowView | None]:
+        """Answer from cache/degradation, or return the window to batch."""
+        self.telemetry.counter("requests").inc()
+        beta = self._model.features.beta
+        if horizon < 1:
+            raise ValueError("horizon_steps must be at least 1")
+        if horizon != beta:
+            return (
+                self._naive(
+                    segment_id,
+                    horizon,
+                    f"horizon {horizon} unsupported (model predicts beta={beta})",
+                ),
+                None,
+                None,
+            )
+        try:
+            view = self.store.window(segment_id)
+        except IncompleteWindowError as exc:
+            return self._naive(segment_id, horizon, str(exc)), None, None
+        key = (segment_id, horizon, view.fingerprint)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return replace(cached, from_cache=True), None, None
+        return None, key, view
+
+    def _complete(
+        self, key: tuple, view: WindowView, pending: PendingForecast, horizon: int, use_cache: bool
+    ) -> Forecast:
+        assert pending.done and pending.value is not None
+        forecast = Forecast(
+            segment_id=view.segment_id,
+            target_step=view.target_step,
+            horizon_steps=horizon,
+            speed_kmh=self._to_kmh(pending.value),
+            source="model",
+        )
+        if use_cache:
+            self.cache.put(key, forecast)
+        return forecast
+
+    def predict(
+        self, segment_id: int, horizon_steps: int | None = None, use_cache: bool = True
+    ) -> Forecast:
+        """Forecast one segment, flushing the batcher immediately."""
+        start = time.perf_counter()
+        horizon = horizon_steps if horizon_steps is not None else self._model.features.beta
+        forecast, key, view = self._resolve(segment_id, horizon, use_cache)
+        if forecast is None:
+            pending = self.batcher.submit(view)
+            if not pending.done:
+                self.batcher.flush()
+            forecast = self._complete(key, view, pending, horizon, use_cache)
+        self.telemetry.histogram("predict_latency_ms").observe(
+            (time.perf_counter() - start) * 1e3
+        )
+        return forecast
+
+    def predict_many(
+        self,
+        segment_ids: Sequence[int],
+        horizon_steps: int | None = None,
+        use_cache: bool = True,
+    ) -> list[Forecast]:
+        """Forecast many segments with one coalesced forward pass.
+
+        Results are returned in request order; cache hits and degraded
+        requests never enter the batcher.
+        """
+        start = time.perf_counter()
+        horizon = horizon_steps if horizon_steps is not None else self._model.features.beta
+        segment_ids = list(segment_ids)
+        beta = self._model.features.beta
+        if horizon < 1:
+            raise ValueError("horizon_steps must be at least 1")
+        self.telemetry.counter("requests").inc(len(segment_ids))
+        results: list[Forecast | None] = [None] * len(segment_ids)
+        queued: list[tuple[int, tuple, WindowView, PendingForecast]] = []
+        if horizon != beta:
+            reason = f"horizon {horizon} unsupported (model predicts beta={beta})"
+            for position, segment_id in enumerate(segment_ids):
+                results[position] = self._naive(segment_id, horizon, reason)
+        else:
+            # One vectorised pass assembles every servable window, so the
+            # batch amortises feature assembly as well as the forward.
+            windows = self.store.windows_many(segment_ids)
+            for position, (segment_id, view) in enumerate(zip(segment_ids, windows)):
+                if isinstance(view, IncompleteWindowError):
+                    results[position] = self._naive(segment_id, horizon, str(view))
+                    continue
+                key = (segment_id, horizon, view.fingerprint)
+                if use_cache:
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[position] = replace(cached, from_cache=True)
+                        continue
+                queued.append((position, key, view, self.batcher.submit(view)))
+        self.batcher.flush()
+        for position, key, view, pending in queued:
+            results[position] = self._complete(key, view, pending, horizon, use_cache)
+        self.telemetry.histogram("predict_many_latency_ms").observe(
+            (time.perf_counter() - start) * 1e3
+        )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def load_checkpoint(self, directory: str | Path) -> APOTS:
+        """Hot-swap the served model from a checkpoint, mid-stream.
+
+        The incoming model must match the current feature geometry (the
+        state store's windows are shaped by it) and must carry scalers.
+        The forecast cache is cleared — cached values came from the old
+        weights.  Returns the new model.
+        """
+        model = load_model(directory)
+        if model.features != self._model.features:
+            raise ValueError(
+                f"checkpoint feature geometry {model.features} does not match "
+                f"the serving geometry {self._model.features}"
+            )
+        if model.scalers is None:
+            raise ValueError(
+                "checkpoint lacks scaler state (format v1?); online serving "
+                "needs the fitted scalers to transform raw observations"
+            )
+        self._model = model
+        self._scalers = model.scalers
+        self.store.scalers = model.scalers
+        self.cache.clear()
+        self.telemetry.counter("checkpoint_swaps").inc()
+        return model
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One dict with everything an operator dashboard would scrape."""
+        snap = self.telemetry.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["model"] = self._model.name
+        snap["pending_requests"] = len(self.batcher)
+        return snap

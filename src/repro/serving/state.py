@@ -1,0 +1,394 @@
+"""Rolling per-segment state: from an observation stream to model inputs.
+
+The offline pipeline (:func:`repro.data.features.build_features`) sees a
+whole :class:`~repro.traffic.types.TrafficSeries` at once and slides
+windows over it.  Online, observations arrive one 5-minute tick at a
+time, per segment.  :class:`SegmentStateStore` keeps fixed-capacity ring
+buffers — speed and event flags consolidated into ``(num_segments,
+capacity)`` arrays, plus one corridor-wide context ring (temperature,
+precipitation, day-type bits) — and materialises, on demand, exactly
+the ``(image, day_type, flat)`` arrays the predictors consume,
+bit-for-bit identical to what ``build_features`` would produce for the
+same steps (covered by ``tests/serving/test_state.py``).
+
+:meth:`SegmentStateStore.windows_many` assembles many segments' windows
+with a handful of vectorised gathers instead of per-segment python
+loops; it is the reason ``predict_many`` amortises not just the model
+forward but the feature assembly as well.  The single-segment
+:meth:`~SegmentStateStore.window` routes through the same code, so
+batched and per-request assembly are identical by construction.
+
+Streams are validated strictly on ingest: an observation that goes
+backwards raises :class:`StaleObservationError` and one that skips ticks
+raises :class:`StreamGapError`; a broken feed must be restarted with
+:meth:`SegmentStateStore.reset_segment` rather than silently stitched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.features import FeatureConfig, FeatureScalers
+from .errors import IncompleteWindowError, StaleObservationError, StreamGapError, UnknownSegmentError
+
+__all__ = ["Observation", "WindowView", "SegmentStateStore"]
+
+#: Context-ring column layout: temperature, precipitation, 4 day-type bits.
+_CTX_TEMP, _CTX_PRECIP, _CTX_DAY = 0, 1, slice(2, 6)
+_DEFAULT_DAY_TYPE = (1.0, 0.0, 0.0, 0.0)  # plain weekday
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One segment's reading for one 5-minute tick.
+
+    ``step`` is the absolute tick index of the feed (consecutive integers).
+    Corridor-wide context fields are optional; when ``None`` the store
+    carries the previous tick's value forward (a weather feed typically
+    updates much less often than the speed feed).
+    """
+
+    segment_id: int
+    step: int
+    speed_kmh: float
+    event: float = 0.0
+    temperature: float | None = None
+    precipitation: float | None = None
+    day_type: tuple[float, float, float, float] | None = None
+
+
+@dataclass(frozen=True)
+class WindowView:
+    """A materialised model input window for one segment.
+
+    ``fingerprint`` identifies the exact window contents (and end step),
+    so it changes whenever a new observation advances the window — the
+    forecast cache keys on it.
+    """
+
+    segment_id: int
+    end_step: int
+    target_step: int
+    image: np.ndarray  # (image_rows, alpha) scaled
+    day_type: np.ndarray  # (4,)
+    flat: np.ndarray  # (flat_dim,)
+    fingerprint: str
+    last_speed_kmh: float
+
+
+class _ContextRing:
+    """Fixed-capacity ring of context rows keyed by consecutive steps.
+
+    ``count`` tracks the length of the *contiguous* run ending at
+    ``latest``; a push that is not ``latest + 1`` restarts the run.
+    """
+
+    __slots__ = ("data", "capacity", "latest", "count")
+
+    def __init__(self, capacity: int, width: int):
+        self.data = np.zeros((capacity, width), dtype=np.float64)
+        self.capacity = capacity
+        self.latest: int | None = None
+        self.count = 0
+
+    def push(self, step: int, row: np.ndarray) -> None:
+        if self.latest is not None and step == self.latest + 1:
+            self.count = min(self.count + 1, self.capacity)
+        else:
+            self.count = 1
+        self.data[step % self.capacity] = row
+        self.latest = step
+
+    def value_at(self, step: int) -> np.ndarray:
+        return self.data[step % self.capacity]
+
+    def has(self, step: int) -> bool:
+        return self.latest is not None and self.latest - self.count < step <= self.latest
+
+    def covers(self, end_step: int, n: int) -> bool:
+        """Whether the ``n`` consecutive rows ending at ``end_step`` are held."""
+        if self.latest is None or end_step > self.latest:
+            return False
+        return end_step - n + 1 > self.latest - self.count
+
+
+class SegmentStateStore:
+    """Ring-buffered rolling state for every segment of a corridor.
+
+    Parameters
+    ----------
+    num_segments:
+        Corridor length; observations and queries index into it.
+    features:
+        Window geometry of the model being served (alpha, m, mask).
+    scalers:
+        The model's train-fitted scalers — raw km/h, degrees and mm go in,
+        model-scaled features come out.
+    interval_minutes:
+        Tick length; used to derive the hour-of-day channel from steps.
+    capacity:
+        Ring capacity per segment (default: exactly ``alpha``).
+    """
+
+    def __init__(
+        self,
+        num_segments: int,
+        features: FeatureConfig,
+        scalers: FeatureScalers,
+        interval_minutes: int = 5,
+        capacity: int | None = None,
+    ):
+        if num_segments < 1:
+            raise ValueError("num_segments must be positive")
+        if (24 * 60) % interval_minutes != 0:
+            raise ValueError("interval_minutes must divide a day evenly")
+        self.num_segments = num_segments
+        self.features = features
+        self.scalers = scalers
+        self.interval_minutes = interval_minutes
+        self.steps_per_day = (24 * 60) // interval_minutes
+        capacity = features.alpha if capacity is None else capacity
+        if capacity < features.alpha:
+            raise ValueError(f"capacity {capacity} cannot hold an alpha={features.alpha} window")
+        self._capacity = capacity
+        self._speed_data = np.zeros((num_segments, capacity), dtype=np.float64)
+        self._event_data = np.zeros((num_segments, capacity), dtype=np.float64)
+        self._latest = np.full(num_segments, -1, dtype=np.int64)  # -1 = no data
+        self._count = np.zeros(num_segments, dtype=np.int64)  # contiguous run length
+        self._context = _ContextRing(capacity, width=6)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _check_segment(self, segment_id: int) -> None:
+        if not 0 <= segment_id < self.num_segments:
+            raise UnknownSegmentError(
+                f"segment {segment_id} outside corridor 0..{self.num_segments - 1}"
+            )
+
+    def ingest(self, observation: Observation) -> None:
+        """Validate and absorb one observation.
+
+        Raises :class:`StaleObservationError` on out-of-order/duplicate
+        steps and :class:`StreamGapError` on skipped steps.
+        """
+        obs = observation
+        self._check_segment(obs.segment_id)
+        seg, step = obs.segment_id, obs.step
+        latest = int(self._latest[seg])
+        if latest >= 0:
+            if step <= latest:
+                raise StaleObservationError(
+                    f"segment {seg}: observation for step {step} arrived after "
+                    f"step {latest} was already ingested (out of order)"
+                )
+            if step > latest + 1:
+                raise StreamGapError(
+                    f"segment {seg}: stream skipped steps {latest + 1}..{step - 1}; "
+                    f"call reset_segment({seg}) to restart the stream"
+                )
+        slot = step % self._capacity
+        self._speed_data[seg, slot] = obs.speed_kmh
+        self._event_data[seg, slot] = float(obs.event)
+        self._count[seg] = min(int(self._count[seg]) + 1, self._capacity) if step == latest + 1 else 1
+        self._latest[seg] = step
+        self._ingest_context(obs)
+
+    def ingest_many(self, observations) -> int:
+        """Ingest an iterable of observations; returns how many."""
+        n = 0
+        for obs in observations:
+            self.ingest(obs)
+            n += 1
+        return n
+
+    def _ingest_context(self, obs: Observation) -> None:
+        ctx = self._context
+        if ctx.latest is not None and obs.step <= ctx.latest:
+            # Another segment already opened this tick (or a later one);
+            # only fold in explicitly provided fields.
+            if ctx.has(obs.step):
+                row = ctx.value_at(obs.step)
+                if obs.temperature is not None:
+                    row[_CTX_TEMP] = obs.temperature
+                if obs.precipitation is not None:
+                    row[_CTX_PRECIP] = obs.precipitation
+                if obs.day_type is not None:
+                    row[_CTX_DAY] = obs.day_type
+            return
+        # New tick: start from the previous tick's values (carry-forward).
+        if ctx.latest is not None and ctx.has(obs.step - 1):
+            row = ctx.value_at(obs.step - 1).copy()
+        else:
+            row = np.array([0.0, 0.0, *_DEFAULT_DAY_TYPE])
+        if obs.temperature is not None:
+            row[_CTX_TEMP] = obs.temperature
+        if obs.precipitation is not None:
+            row[_CTX_PRECIP] = obs.precipitation
+        if obs.day_type is not None:
+            row[_CTX_DAY] = obs.day_type
+        ctx.push(obs.step, row)
+
+    def reset_segment(self, segment_id: int) -> None:
+        """Drop a segment's buffered stream (recovery after a gap)."""
+        self._check_segment(segment_id)
+        self._latest[segment_id] = -1
+        self._count[segment_id] = 0
+        self._speed_data[segment_id] = 0.0
+        self._event_data[segment_id] = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def latest_step(self, segment_id: int) -> int | None:
+        self._check_segment(segment_id)
+        latest = int(self._latest[segment_id])
+        return None if latest < 0 else latest
+
+    def last_speed_kmh(self, segment_id: int) -> float:
+        """Most recent raw speed; the naive-degradation forecast."""
+        self._check_segment(segment_id)
+        latest = int(self._latest[segment_id])
+        if latest < 0:
+            raise IncompleteWindowError(f"segment {segment_id} has no observations yet")
+        return float(self._speed_data[segment_id, latest % self._capacity])
+
+    # ------------------------------------------------------------------
+    # Window assembly
+    # ------------------------------------------------------------------
+    def _hours(self, steps: np.ndarray) -> np.ndarray:
+        """Hour of day per step, assuming step 0 is midnight."""
+        minutes = (steps % self.steps_per_day) * self.interval_minutes
+        return (minutes // 60).astype(np.float64)
+
+    def _readiness_error(self, segment_id: int) -> IncompleteWindowError | None:
+        """Why this segment's window cannot be assembled right now."""
+        alpha, m = self.features.alpha, self.features.m
+        lo, hi = segment_id - m, segment_id + m
+        if lo < 0 or hi >= self.num_segments:
+            return IncompleteWindowError(
+                f"segment {segment_id} needs {m} neighbours on each side "
+                f"(corridor 0..{self.num_segments - 1}); edge segments are "
+                f"served by the naive fallback"
+            )
+        end = int(self._latest[segment_id])
+        if end < 0 or self._count[segment_id] < alpha:
+            have = max(int(self._count[segment_id]), 0) if end >= 0 else 0
+            return IncompleteWindowError(
+                f"segment {segment_id} has {have}/{alpha} consecutive observations"
+            )
+        # Each adjacent row needs the alpha steps ending at `end`: its stream
+        # must have reached `end` and its contiguous run must span back far
+        # enough (a neighbour running ahead is fine while the ring holds on
+        # to the older slots).
+        latest = self._latest[lo : hi + 1]
+        count = self._count[lo : hi + 1]
+        if not ((latest >= end) & (count >= latest - end + alpha)).all():
+            return IncompleteWindowError(
+                f"a neighbour of segment {segment_id} lags it "
+                f"(no complete window ending at step {end})"
+            )
+        if not self._context.covers(end, alpha):
+            return IncompleteWindowError(
+                f"context channels incomplete for steps ending at {end}"
+            )
+        return None
+
+    def window(self, segment_id: int) -> WindowView:
+        """One segment's window, or raise :class:`IncompleteWindowError`."""
+        result = self.windows_many([segment_id])[0]
+        if isinstance(result, IncompleteWindowError):
+            raise result
+        return result
+
+    def windows_many(
+        self, segment_ids
+    ) -> list[WindowView | IncompleteWindowError]:
+        """Materialise many segments' windows with vectorised gathers.
+
+        Returns one entry per requested segment, in order: a
+        :class:`WindowView`, or the :class:`IncompleteWindowError` that
+        explains why the segment cannot be served by the model (callers
+        degrade those to the naive forecast rather than failing the whole
+        batch).  Unknown segment ids still raise — that is a caller bug,
+        not a stream condition.
+
+        Mirrors :func:`repro.data.features.build_features` exactly: the
+        adjacent-speed rows span ``segment_id - m .. segment_id + m``,
+        followed by the event / temperature / precipitation / hour rows,
+        with the factor mask's zero-filling applied.
+        """
+        cfg = self.features
+        alpha, m = cfg.alpha, cfg.m
+        results: list[WindowView | IncompleteWindowError | None] = [None] * len(segment_ids)
+        ready_positions: list[int] = []
+        ready_segments: list[int] = []
+        for position, segment_id in enumerate(segment_ids):
+            self._check_segment(segment_id)
+            error = self._readiness_error(segment_id)
+            if error is not None:
+                results[position] = error
+            else:
+                ready_positions.append(position)
+                ready_segments.append(segment_id)
+        if not ready_segments:
+            return results  # type: ignore[return-value]
+
+        segments = np.asarray(ready_segments, dtype=np.int64)
+        ends = self._latest[segments]  # (B,)
+        steps = ends[:, None] + np.arange(-(alpha - 1), 1)[None, :]  # (B, alpha)
+        idx = steps % self._capacity
+        rows = segments[:, None] + np.arange(-m, m + 1)[None, :]  # (B, 2m+1)
+
+        adj_kmh = self._speed_data[rows[:, :, None], idx[:, None, :]]  # (B, 2m+1, alpha)
+        event = self._event_data[segments[:, None], idx]  # (B, alpha)
+        context = self._context.data[idx]  # (B, alpha, 6)
+
+        adj = self.scalers.speed.transform(adj_kmh)
+        temp = self.scalers.temperature.transform(context[:, :, _CTX_TEMP])
+        precip = self.scalers.precipitation.transform(context[:, :, _CTX_PRECIP])
+        hour = self._hours(steps) / 23.0
+        day_types = context[:, -1, _CTX_DAY].copy()  # (B, 4)
+
+        mask = cfg.mask
+        if not mask.adjacent:
+            keep = adj[:, m, :].copy()
+            adj[:] = 0.0
+            adj[:, m, :] = keep
+        if not mask.event:
+            event = np.zeros_like(event)
+        if not mask.weather:
+            temp = np.zeros_like(temp)
+            precip = np.zeros_like(precip)
+        if not mask.time:
+            hour = np.zeros_like(hour)
+            day_types = np.zeros_like(day_types)
+
+        images = np.concatenate(
+            [adj, event[:, None, :], temp[:, None, :], precip[:, None, :], hour[:, None, :]],
+            axis=1,
+        )  # (B, image_rows, alpha)
+        flats = np.concatenate([images.reshape(len(segments), -1), day_types], axis=1)
+        last_speeds = adj_kmh[:, m, -1]
+
+        for i, position in enumerate(ready_positions):
+            end = int(ends[i])
+            day_type = day_types[i]
+            digest = hashlib.blake2b(digest_size=12)
+            digest.update(end.to_bytes(8, "little", signed=True))
+            digest.update(images[i].tobytes())
+            digest.update(day_type.tobytes())
+            results[position] = WindowView(
+                segment_id=int(segments[i]),
+                end_step=end,
+                target_step=end + cfg.beta,
+                image=images[i],
+                day_type=day_type,
+                flat=flats[i],
+                fingerprint=digest.hexdigest(),
+                last_speed_kmh=float(last_speeds[i]),
+            )
+        return results  # type: ignore[return-value]

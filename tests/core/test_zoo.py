@@ -64,6 +64,48 @@ class TestRoundtrip:
         assert loaded.features == features
 
 
+class TestScalerPersistence:
+    """Format v2: the fitted feature scalers ride along with the weights."""
+
+    def test_scaler_state_roundtrips(self, fitted, tmp_path):
+        model, _ = fitted
+        assert model.scalers is not None  # recorded by fit()
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        assert loaded.scalers is not None
+        assert loaded.scalers.state_dict() == model.scalers.state_dict()
+
+    def test_raw_speed_inference_reproduced(self, fitted, tmp_path):
+        # The point of persisting scalers: identical km/h forecasts from
+        # raw inputs, not just identical scaled outputs.
+        model, dataset = fitted
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        indices = dataset.subset("test")
+        batch = dataset.batch(indices)
+        scaled = loaded.predictor.predict(batch.images, batch.day_types, batch.flat)
+        np.testing.assert_array_equal(
+            loaded.scalers.speed.inverse_transform(scaled),
+            dataset.kmh(model.predictor.predict(batch.images, batch.day_types, batch.flat)),
+        )
+
+    def test_unfitted_model_saves_without_scalers(self, micro_preset, tmp_path):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset)
+        save_model(model, tmp_path / "ckpt")
+        assert load_model(tmp_path / "ckpt").scalers is None
+
+    def test_v1_checkpoint_still_loads(self, fitted, tmp_path):
+        model, dataset = fitted
+        path = save_model(model, tmp_path / "v1")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 1
+        manifest.pop("scalers")
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_model(path)
+        assert loaded.scalers is None
+        np.testing.assert_allclose(loaded.predict(dataset), model.predict(dataset))
+
+
 class TestErrors:
     def test_missing_checkpoint(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -75,5 +117,14 @@ class TestErrors:
         manifest = json.loads((path / "manifest.json").read_text())
         manifest["format_version"] = 99
         (path / "manifest.json").write_text(json.dumps(manifest))
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(ValueError, match="format version 99"):
+            load_model(path)
+
+    def test_version_error_names_supported_versions(self, fitted, tmp_path):
+        model, _ = fitted
+        path = save_model(model, tmp_path / "v")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 0
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match=r"reads versions \(1, 2\)"):
             load_model(path)

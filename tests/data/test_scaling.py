@@ -6,7 +6,28 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.data import LogStandardScaler, MinMaxScaler, StandardScaler
+from repro.data import LogStandardScaler, MinMaxScaler, StandardScaler, scaler_from_state
+
+
+class TestStatePersistence:
+    @pytest.mark.parametrize(
+        "scaler_cls", [MinMaxScaler, StandardScaler, LogStandardScaler]
+    )
+    def test_fitted_state_roundtrips(self, scaler_cls):
+        data = np.array([3.0, 7.0, 11.0, 40.0])
+        scaler = scaler_cls().fit(data)
+        restored = scaler_from_state(scaler.state_dict())
+        assert type(restored) is scaler_cls
+        np.testing.assert_array_equal(restored.transform(data), scaler.transform(data))
+
+    def test_unfitted_state_roundtrips(self):
+        restored = scaler_from_state(MinMaxScaler().state_dict())
+        with pytest.raises(RuntimeError, match="before fit"):
+            restored.transform(np.array([1.0]))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown scaler kind"):
+            scaler_from_state({"kind": "RobustScaler"})
 
 
 class TestMinMaxScaler:

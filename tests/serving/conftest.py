@@ -1,0 +1,62 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import APOTS
+from repro.serving import ForecastService, Observation
+
+
+def observation_at(series, segment_id: int, step: int) -> Observation:
+    """Build the Observation a live feed would emit for one series cell."""
+    return Observation(
+        segment_id=segment_id,
+        step=step,
+        speed_kmh=float(series.speeds[segment_id, step]),
+        event=float(series.events[segment_id, step]),
+        temperature=float(series.temperature[step]),
+        precipitation=float(series.precipitation[step]),
+        day_type=tuple(series.day_types[step]),
+    )
+
+
+def replay(target, series, steps) -> None:
+    """Feed every segment's observations for ``steps`` into a store/service."""
+    ingest = target.ingest
+    for step in steps:
+        for segment in range(series.num_segments):
+            ingest(observation_at(series, segment, step))
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for cache/batcher tests."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(scope="session")
+def served_model(tiny_dataset, micro_preset):
+    """A quickly fitted plain-F model with recorded scalers (read-only)."""
+    model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+    return model.fit(tiny_dataset)
+
+
+@pytest.fixture
+def warm_service(served_model, tiny_series):
+    """A service with 15 ticks of corridor history already ingested."""
+    service = ForecastService(served_model, num_segments=tiny_series.num_segments)
+    replay(service, tiny_series, range(15))
+    return service

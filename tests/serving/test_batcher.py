@@ -1,0 +1,125 @@
+"""MicroBatcher: coalescing, chunking, linger, canonical padding."""
+
+import numpy as np
+import pytest
+
+from repro.serving import MicroBatcher, Telemetry, WindowView
+
+
+def make_view(seed: int) -> WindowView:
+    rng = np.random.default_rng(seed)
+    image = rng.random((5, 4))
+    day_type = rng.random(4)
+    return WindowView(
+        segment_id=seed,
+        end_step=11,
+        target_step=12,
+        image=image,
+        day_type=day_type,
+        flat=np.concatenate([image.reshape(-1), day_type]),
+        fingerprint=f"fp{seed}",
+        last_speed_kmh=90.0,
+    )
+
+
+def sum_forward(images, day_types, flat):
+    """A deterministic stand-in model: row sums of the flat features."""
+    return flat.sum(axis=1)
+
+
+class TestCoalescing:
+    def test_flush_resolves_all(self):
+        batcher = MicroBatcher(sum_forward, max_batch_size=8)
+        views = [make_view(i) for i in range(5)]
+        pendings = [batcher.submit(v) for v in views]
+        assert not any(p.done for p in pendings)
+        assert batcher.flush() == 5
+        for view, pending in zip(views, pendings):
+            assert pending.done
+            assert pending.value == pytest.approx(view.flat.sum())
+
+    def test_auto_flush_on_full_batch(self):
+        batcher = MicroBatcher(sum_forward, max_batch_size=3)
+        pendings = [batcher.submit(make_view(i)) for i in range(3)]
+        assert all(p.done for p in pendings)
+        assert len(batcher) == 0
+
+    def test_large_queue_split_into_chunks(self):
+        telemetry = Telemetry()
+        batcher = MicroBatcher(sum_forward, max_batch_size=4, telemetry=telemetry)
+        views = [make_view(i) for i in range(10)]
+        pendings = []
+        for view in views:
+            pendings.append(batcher.submit(view))
+        batcher.flush()
+        assert all(p.done for p in pendings)
+        # 10 requests with max 4 per forward: two full auto-flushed batches
+        # of 4 plus the final flush of 2.
+        sizes = telemetry.histogram("batch_size")
+        assert sizes.count == 3 and sizes.maximum == 4 and sizes.minimum == 2
+
+
+class TestLinger:
+    def test_waits_within_linger(self, fake_clock):
+        batcher = MicroBatcher(sum_forward, max_batch_size=8, linger_seconds=5.0, clock=fake_clock)
+        pending = batcher.submit(make_view(0))
+        assert not pending.done and not batcher.poll()
+        fake_clock.advance(4.0)
+        assert not batcher.poll()
+
+    def test_flushes_after_linger(self, fake_clock):
+        batcher = MicroBatcher(sum_forward, max_batch_size=8, linger_seconds=5.0, clock=fake_clock)
+        pending = batcher.submit(make_view(0))
+        fake_clock.advance(5.0)
+        assert batcher.poll() and pending.done
+
+    def test_late_submit_triggers_flush(self, fake_clock):
+        batcher = MicroBatcher(sum_forward, max_batch_size=8, linger_seconds=5.0, clock=fake_clock)
+        first = batcher.submit(make_view(0))
+        fake_clock.advance(6.0)
+        second = batcher.submit(make_view(1))
+        assert first.done and second.done
+
+
+class TestPadding:
+    def test_forward_sees_canonical_batch_shape(self):
+        seen = []
+
+        def recording_forward(images, day_types, flat):
+            seen.append(flat.shape[0])
+            return flat.sum(axis=1)
+
+        batcher = MicroBatcher(recording_forward, max_batch_size=16)
+        batcher.submit(make_view(0))
+        batcher.flush()
+        pendings = [batcher.submit(make_view(i)) for i in range(5)]
+        batcher.flush()
+        assert seen == [16, 16]
+        assert all(p.done for p in pendings)
+
+    def test_padding_rows_do_not_leak_into_results(self):
+        batcher = MicroBatcher(sum_forward, max_batch_size=16)
+        view = make_view(3)
+        pending = batcher.submit(view)
+        batcher.flush()
+        assert pending.value == pytest.approx(view.flat.sum())
+
+    def test_unpadded_mode(self):
+        seen = []
+
+        def recording_forward(images, day_types, flat):
+            seen.append(flat.shape[0])
+            return flat.sum(axis=1)
+
+        batcher = MicroBatcher(recording_forward, max_batch_size=16, pad_batches=False)
+        batcher.submit(make_view(0))
+        batcher.flush()
+        assert seen == [1]
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(sum_forward, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(sum_forward, linger_seconds=-1)

@@ -1,0 +1,87 @@
+"""ForecastCache: TTL expiry, LRU eviction, stats."""
+
+import pytest
+
+from repro.serving import ForecastCache
+
+
+@pytest.fixture
+def cache(fake_clock) -> ForecastCache:
+    return ForecastCache(capacity=3, ttl_seconds=10.0, clock=fake_clock)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains(self, cache, fake_clock):
+        cache.put("k", 1)
+        assert "k" in cache
+        fake_clock.advance(11)
+        assert "k" not in cache
+
+    def test_clear(self, cache):
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_disabled_cache(self, fake_clock):
+        cache = ForecastCache(capacity=0, clock=fake_clock)
+        cache.put("k", 1)
+        assert cache.get("k") is None and len(cache) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ForecastCache(capacity=-1)
+        with pytest.raises(ValueError):
+            ForecastCache(ttl_seconds=0)
+
+
+class TestTTL:
+    def test_expires_after_ttl(self, cache, fake_clock):
+        cache.put("k", 1)
+        fake_clock.advance(9.9)
+        assert cache.get("k") == 1
+        fake_clock.advance(0.2)
+        assert cache.get("k") is None
+        assert cache.ttl_evictions == 1
+
+    def test_put_refreshes_ttl(self, cache, fake_clock):
+        cache.put("k", 1)
+        fake_clock.advance(8)
+        cache.put("k", 2)
+        fake_clock.advance(8)
+        assert cache.get("k") == 2
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self, cache):
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")  # refresh a's recency
+        cache.put("d", "d")  # evicts b, not a
+        assert cache.get("a") == "a"
+        assert cache.get("b") is None
+        assert cache.lru_evictions == 1
+
+    def test_capacity_enforced(self, cache):
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+
+
+class TestStats:
+    def test_hit_rate(self, cache):
+        cache.put("k", 1)
+        for _ in range(9):
+            cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 9 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.9)
+
+    def test_empty_hit_rate(self, cache):
+        assert cache.hit_rate == 0.0

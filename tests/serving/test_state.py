@@ -1,0 +1,193 @@
+"""SegmentStateStore: window assembly parity, stream validation, fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.data import FactorMask, FeatureConfig
+from repro.data.features import build_features
+from repro.serving import (
+    IncompleteWindowError,
+    Observation,
+    SegmentStateStore,
+    StaleObservationError,
+    StreamGapError,
+    UnknownSegmentError,
+)
+
+from tests.serving.conftest import observation_at, replay
+
+
+def make_store(series, dataset, **kwargs) -> SegmentStateStore:
+    return SegmentStateStore(
+        series.num_segments, dataset.config, dataset.features.scalers, **kwargs
+    )
+
+
+class TestWindowParity:
+    """Streaming assembly must match the offline pipeline bit for bit."""
+
+    def test_matches_build_features(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        alpha = tiny_dataset.config.alpha
+        target = tiny_series.corridor.target_index
+        replay(store, tiny_series, range(alpha + 5))
+        view = store.window(target)
+        k = view.end_step - alpha + 1  # offline window index
+        assert np.array_equal(view.image, tiny_dataset.features.images[k])
+        assert np.array_equal(view.day_type, tiny_dataset.features.day_types[k])
+        assert np.array_equal(view.flat, tiny_dataset.features.flat()[k])
+        assert view.target_step == tiny_dataset.features.target_steps[k]
+        assert view.last_speed_kmh == tiny_dataset.features.last_input_kmh[k]
+
+    def test_matches_after_ring_wraparound(self, tiny_series, tiny_dataset):
+        # Far more pushes than the ring capacity: old slots are overwritten.
+        store = make_store(tiny_series, tiny_dataset)
+        alpha = tiny_dataset.config.alpha
+        target = tiny_series.corridor.target_index
+        replay(store, tiny_series, range(4 * alpha))
+        view = store.window(target)
+        k = view.end_step - alpha + 1
+        assert np.array_equal(view.image, tiny_dataset.features.images[k])
+
+    def test_matches_under_factor_mask(self, tiny_series, tiny_dataset):
+        config = FeatureConfig(mask=FactorMask.speed_only())
+        features = build_features(tiny_series, config, tiny_dataset.features.scalers)
+        store = SegmentStateStore(
+            tiny_series.num_segments, config, tiny_dataset.features.scalers
+        )
+        replay(store, tiny_series, range(config.alpha))
+        view = store.window(tiny_series.corridor.target_index)
+        assert np.array_equal(view.image, features.images[view.end_step - config.alpha + 1])
+        # Masked channels really are zero.
+        assert not view.image[0].any() and not view.image[-1].any()
+
+    def test_every_interior_segment_assembles(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        m = tiny_dataset.config.m
+        replay(store, tiny_series, range(tiny_dataset.config.alpha))
+        for segment in range(m, tiny_series.num_segments - m):
+            view = store.window(segment)
+            assert view.image.shape == (tiny_dataset.config.image_rows, tiny_dataset.config.alpha)
+
+
+class TestStreamValidation:
+    def test_out_of_order_rejected(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        store.ingest(observation_at(tiny_series, 0, 5))
+        store.ingest(observation_at(tiny_series, 0, 6))
+        with pytest.raises(StaleObservationError, match="out of order"):
+            store.ingest(observation_at(tiny_series, 0, 5))
+
+    def test_duplicate_step_rejected(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        store.ingest(observation_at(tiny_series, 0, 5))
+        with pytest.raises(StaleObservationError):
+            store.ingest(observation_at(tiny_series, 0, 5))
+
+    def test_gap_rejected_with_reset_hint(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        store.ingest(observation_at(tiny_series, 3, 0))
+        with pytest.raises(StreamGapError, match="skipped steps 1..4"):
+            store.ingest(observation_at(tiny_series, 3, 5))
+
+    def test_reset_segment_recovers_from_gap(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        store.ingest(observation_at(tiny_series, 3, 0))
+        with pytest.raises(StreamGapError):
+            store.ingest(observation_at(tiny_series, 3, 5))
+        store.reset_segment(3)
+        store.ingest(observation_at(tiny_series, 3, 5))
+        assert store.latest_step(3) == 5
+
+    def test_unknown_segment(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        with pytest.raises(UnknownSegmentError):
+            store.ingest(Observation(segment_id=99, step=0, speed_kmh=80.0))
+        with pytest.raises(UnknownSegmentError):
+            store.window(-1)
+
+    def test_gaps_do_not_cross_segments(self, tiny_series, tiny_dataset):
+        # Each segment's stream is validated independently.
+        store = make_store(tiny_series, tiny_dataset)
+        store.ingest(observation_at(tiny_series, 0, 0))
+        store.ingest(observation_at(tiny_series, 1, 7))  # fresh stream, fine
+        assert store.latest_step(1) == 7
+
+
+class TestIncompleteWindows:
+    def test_warming_up(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        replay(store, tiny_series, range(3))
+        with pytest.raises(IncompleteWindowError, match="3/12 consecutive"):
+            store.window(tiny_series.corridor.target_index)
+
+    def test_edge_segment(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        replay(store, tiny_series, range(tiny_dataset.config.alpha))
+        with pytest.raises(IncompleteWindowError, match="neighbours"):
+            store.window(0)
+
+    def test_lagging_neighbour(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        target = tiny_series.corridor.target_index
+        replay(store, tiny_series, range(tiny_dataset.config.alpha))
+        # The target advances one tick; its neighbours do not.
+        store.ingest(observation_at(tiny_series, target, tiny_dataset.config.alpha))
+        with pytest.raises(IncompleteWindowError, match="lags"):
+            store.window(target)
+
+    def test_no_observations_at_all(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        with pytest.raises(IncompleteWindowError):
+            store.last_speed_kmh(2)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        target = tiny_series.corridor.target_index
+        replay(store, tiny_series, range(tiny_dataset.config.alpha))
+        assert store.window(target).fingerprint == store.window(target).fingerprint
+
+    def test_changes_on_new_observation(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        target = tiny_series.corridor.target_index
+        alpha = tiny_dataset.config.alpha
+        replay(store, tiny_series, range(alpha))
+        before = store.window(target).fingerprint
+        replay(store, tiny_series, [alpha])
+        assert store.window(target).fingerprint != before
+
+    def test_differs_between_segments(self, tiny_series, tiny_dataset):
+        store = make_store(tiny_series, tiny_dataset)
+        replay(store, tiny_series, range(tiny_dataset.config.alpha))
+        m = tiny_dataset.config.m
+        assert store.window(m).fingerprint != store.window(m + 1).fingerprint
+
+
+class TestConstruction:
+    def test_capacity_below_alpha_rejected(self, tiny_series, tiny_dataset):
+        with pytest.raises(ValueError, match="capacity"):
+            make_store(tiny_series, tiny_dataset, capacity=4)
+
+    def test_context_carry_forward(self, tiny_dataset, tiny_series):
+        # Weather omitted after the first tick: values carry forward, and
+        # the window still assembles.
+        store = make_store(tiny_series, tiny_dataset)
+        alpha = tiny_dataset.config.alpha
+        for step in range(alpha):
+            for segment in range(tiny_series.num_segments):
+                obs = observation_at(tiny_series, segment, step)
+                if step > 0:
+                    obs = Observation(
+                        segment_id=obs.segment_id,
+                        step=obs.step,
+                        speed_kmh=obs.speed_kmh,
+                        event=obs.event,
+                        day_type=obs.day_type,
+                    )
+                store.ingest(obs)
+        view = store.window(tiny_series.corridor.target_index)
+        temperature_row = view.image[tiny_dataset.config.num_roads]
+        # All steps carry the first tick's (scaled) temperature.
+        assert np.allclose(temperature_row, temperature_row[0])

@@ -46,6 +46,7 @@ def run_example(name: str, argv: list[str]) -> None:
         "factor_ablation.py",
         "bring_your_own_data.py",
         "route_guidance.py",
+        "serve_forecasts.py",
     ],
 )
 def test_example_runs(script, capsys):
@@ -65,6 +66,13 @@ def test_compare_baselines_includes_prophet(capsys):
     run_example("compare_baselines.py", ["smoke"])
     out = capsys.readouterr().out
     assert "Prophet" in out and "LastValue" in out
+
+
+def test_serve_forecasts_prints_telemetry(capsys):
+    run_example("serve_forecasts.py", ["smoke"])
+    out = capsys.readouterr().out
+    assert "telemetry snapshot" in out
+    assert '"hit_rate"' in out and '"batch_size"' in out
 
 
 def test_factor_ablation_ranks_factors(capsys):

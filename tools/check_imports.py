@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Static layering check for the repro package.
+
+Walks every module under ``src/repro`` with :mod:`ast` (nothing is
+imported, so the check is fast and side-effect free) and fails when a
+layer reaches into one it must not depend on.  The rules keep the online
+serving path deployable without dragging the offline experiment harness
+(and its plotting/IO weight) into the server image:
+
+* ``repro.serving``  must not import ``repro.experiments`` or ``repro.baselines``
+* ``repro.data``     must not import ``repro.core``, ``repro.serving`` or ``repro.experiments``
+* ``repro.nn``       must not import anything above it (only numpy/stdlib)
+
+Run directly or via ``tools/ci.sh``::
+
+    python tools/check_imports.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: layer prefix -> package prefixes it must never import.
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro.serving": ("repro.experiments", "repro.baselines"),
+    "repro.data": ("repro.core", "repro.serving", "repro.experiments"),
+    "repro.nn": (
+        "repro.core",
+        "repro.data",
+        "repro.serving",
+        "repro.experiments",
+        "repro.traffic",
+        "repro.baselines",
+    ),
+}
+
+
+def module_name(path: Path) -> str:
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imported_modules(tree: ast.AST, module: str) -> list[tuple[int, str]]:
+    """Absolute module names imported anywhere in the tree."""
+    package_parts = module.split(".")
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Resolve `from ..x import y` relative to this module.
+                anchor = package_parts[: len(package_parts) - node.level]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            found.append((node.lineno, base))
+            # `from repro import experiments` smuggles a module too.
+            found.extend((node.lineno, f"{base}.{alias.name}") for alias in node.names)
+    return found
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+    for path in sorted(SRC.glob("repro/**/*.py")):
+        module = module_name(path)
+        rules = [
+            banned
+            for layer, banned in FORBIDDEN.items()
+            if module == layer or module.startswith(layer + ".")
+        ]
+        if not rules:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, imported in imported_modules(tree, module):
+            for banned in (b for group in rules for b in group):
+                if imported == banned or imported.startswith(banned + "."):
+                    violations.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{module} imports {imported} (forbidden for this layer)"
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("import layering violations:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    print(f"check_imports: OK ({len(FORBIDDEN)} layer rules, no violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 CI entrypoint: layering check, then the fast test suite.
+# Benchmarks (benchmarks/) are tier-2 and run separately.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python tools/check_imports.py
+PYTHONPATH=src python -m pytest -x -q "$@"
