@@ -22,6 +22,9 @@ Subpackages
 ``repro.serving``
     Online forecast serving: rolling state ingestion, micro-batching,
     forecast caching and telemetry around a trained checkpoint.
+``repro.obs``
+    Shared observability: counters/histograms, JSONL run recording
+    with manifests, and GAN-health training monitors.
 """
 
 from .core import APOTS, EvaluationReport

@@ -17,21 +17,42 @@ The paper's objective uses the saturating generator loss
 ``log(1 - D(fake))``; by default we train the non-saturating variant
 ``-log D(fake)`` (Goodfellow et al., 2014 recommend it for gradient
 signal) and expose ``saturating_adv_loss`` to flip back.
+
+Observability: ``fit`` accepts an optional
+:class:`repro.obs.RunRecorder` (falling back to the ambient recorder
+installed by the experiment CLI).  With one attached it emits
+``d_step`` / ``p_step`` / ``adv_epoch`` events, times the two update
+kinds as latency sections, and runs a
+:class:`repro.obs.GanHealthMonitor` over D probabilities, the
+adversarial-loss share and pre-clip gradient norms.  Without one the
+instrumentation branches are skipped entirely (zero-cost default).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..data.dataset import RolloutBatch, TrafficDataset, iterate_batches
+from ..obs import GanHealthMonitor, RunRecorder, current_recorder
 from .config import TrainSpec
 from .discriminator import Discriminator
 from .predictors import Predictor
 
 __all__ = ["AdversarialHistory", "APOTSTrainer"]
+
+
+def _mean(values: list[float]) -> float:
+    """Mean of a possibly-empty list without numpy's RuntimeWarning.
+
+    ``spec.discriminator_steps == 0`` or ``max_steps_per_epoch == 0``
+    legitimately produce empty per-epoch lists; ``np.mean([])`` would
+    warn and poison the history with a warning-wrapped NaN.
+    """
+    return float(np.mean(values)) if values else float("nan")
 
 
 @dataclass
@@ -44,6 +65,8 @@ class AdversarialHistory:
     discriminator_loss: list[float] = field(default_factory=list)
     discriminator_real_prob: list[float] = field(default_factory=list)
     discriminator_fake_prob: list[float] = field(default_factory=list)
+    predictor_grad_norm: list[float] = field(default_factory=list)
+    discriminator_grad_norm: list[float] = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:
@@ -87,8 +110,10 @@ class APOTSTrainer:
         """
         return sequences[:, -self.discriminator.sequence_length :]
 
-    def _discriminator_step(self, batch: RolloutBatch, alpha: int) -> tuple[float, float, float]:
-        """One D update; returns (loss, mean real prob, mean fake prob)."""
+    def _discriminator_step(
+        self, batch: RolloutBatch, alpha: int
+    ) -> tuple[float, float, float, float]:
+        """One D update; returns (loss, real prob, fake prob, grad norm)."""
         with nn.no_grad():
             _, fake_sequences = self._predict_sequences(batch, alpha)
         fake = nn.Tensor(self._sequence_view(fake_sequences.data))  # detached
@@ -103,16 +128,18 @@ class APOTSTrainer:
 
         self.d_optimizer.zero_grad()
         loss.backward()
-        nn.clip_grad_norm(self.discriminator.parameters(), self.spec.grad_clip)
+        grad_norm = nn.clip_grad_norm(self.discriminator.parameters(), self.spec.grad_clip)
         self.d_optimizer.step()
 
         with nn.no_grad():
             real_prob = float(real_logits.sigmoid().data.mean())
             fake_prob = float(fake_logits.sigmoid().data.mean())
-        return loss.item(), real_prob, fake_prob
+        return loss.item(), real_prob, fake_prob, grad_norm
 
-    def _predictor_step(self, batch: RolloutBatch, alpha: int) -> tuple[float, float, float]:
-        """One P update; returns (total, mse, adversarial) losses."""
+    def _predictor_step(
+        self, batch: RolloutBatch, alpha: int
+    ) -> tuple[float, float, float, float, float]:
+        """One P update; returns (total, mse, adv, grad norm, fake std)."""
         predictions, sequences = self._predict_sequences(batch, alpha)
         mse_loss = self.mse(predictions, batch.group_targets)
 
@@ -133,14 +160,25 @@ class APOTSTrainer:
         # Only P's parameters are updated, but D's grads must not leak
         # into its optimiser state: clear them after backward.
         total.backward()
-        nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
+        grad_norm = nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
         self.p_optimizer.step()
         self.discriminator.zero_grad()
-        return total.item(), mse_loss.item(), adv_loss.item()
+        # Spread of the generated sequences: the mode-collapse signal.
+        fake_std = float(sequences.data.std())
+        return total.item(), mse_loss.item(), adv_loss.item(), grad_norm, fake_std
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: TrafficDataset, verbose: bool = False) -> AdversarialHistory:
-        """Run the alternating game for ``spec.epochs`` epochs."""
+    def fit(
+        self,
+        dataset: TrafficDataset,
+        verbose: bool = False,
+        recorder: RunRecorder | None = None,
+    ) -> AdversarialHistory:
+        """Run the alternating game for ``spec.epochs`` epochs.
+
+        ``recorder`` defaults to the ambient :func:`repro.obs.use_recorder`
+        recorder; pass one explicitly to capture a standalone run.
+        """
         alpha = dataset.config.alpha
         anchors = dataset.rollout_anchors("train")
         if len(anchors) == 0:
@@ -148,35 +186,108 @@ class APOTSTrainer:
                 "no adversarial anchors available; the train split has no "
                 f"run of {alpha} consecutive windows"
             )
+        rec = recorder if recorder is not None else current_recorder()
+        monitor = GanHealthMonitor(rec) if rec is not None else None
+        if rec is not None:
+            rec.annotate(trainer="APOTSTrainer", train_spec=asdict(self.spec), seed=self.spec.seed)
+        section = rec.section if rec is not None else (lambda name: nullcontext())
         rng = np.random.default_rng(self.spec.seed)
         history = AdversarialHistory()
         self.predictor.train()
         self.discriminator.train()
 
+        global_step = 0
         for epoch in range(self.spec.epochs):
             p_losses, mse_losses, adv_losses, d_losses = [], [], [], []
             real_probs, fake_probs = [], []
+            p_norms, d_norms = [], []
             batches = iterate_batches(anchors, self.spec.adversarial_batch_size, rng=rng)
             for step, anchor_indices in enumerate(batches):
                 if self.spec.max_steps_per_epoch is not None and step >= self.spec.max_steps_per_epoch:
                     break
                 batch = dataset.rollout_batch(anchor_indices)
                 for _ in range(self.spec.discriminator_steps):
-                    d_loss, real_prob, fake_prob = self._discriminator_step(batch, alpha)
+                    with section("d_step"):
+                        d_loss, real_prob, fake_prob, d_norm = self._discriminator_step(
+                            batch, alpha
+                        )
                     d_losses.append(d_loss)
                     real_probs.append(real_prob)
                     fake_probs.append(fake_prob)
-                p_loss, mse_loss, adv_loss = self._predictor_step(batch, alpha)
+                    d_norms.append(d_norm)
+                    if monitor is not None:
+                        monitor.observe_discriminator(
+                            global_step,
+                            loss=d_loss,
+                            real_prob=real_prob,
+                            fake_prob=fake_prob,
+                            grad_norm=d_norm,
+                        )
+                    if rec is not None:
+                        rec.event(
+                            "d_step",
+                            epoch=epoch,
+                            step=step,
+                            loss=d_loss,
+                            real_prob=real_prob,
+                            fake_prob=fake_prob,
+                            grad_norm=d_norm,
+                        )
+                with section("p_step"):
+                    p_loss, mse_loss, adv_loss, p_norm, fake_std = self._predictor_step(
+                        batch, alpha
+                    )
                 p_losses.append(p_loss)
                 mse_losses.append(mse_loss)
                 adv_losses.append(adv_loss)
+                p_norms.append(p_norm)
+                if monitor is not None or rec is not None:
+                    adv_share = abs(adv_loss * self.spec.adv_weight) / (abs(p_loss) + 1e-12)
+                    if monitor is not None:
+                        monitor.observe_predictor(
+                            global_step,
+                            loss=p_loss,
+                            mse=mse_loss,
+                            adv=adv_loss,
+                            adv_share=adv_share,
+                            grad_norm=p_norm,
+                            fake_std=fake_std,
+                        )
+                    if rec is not None:
+                        rec.event(
+                            "p_step",
+                            epoch=epoch,
+                            step=step,
+                            loss=p_loss,
+                            mse_loss=mse_loss,
+                            adv_loss=adv_loss,
+                            adv_share=adv_share,
+                            grad_norm=p_norm,
+                            fake_std=fake_std,
+                        )
+                global_step += 1
 
-            history.predictor_loss.append(float(np.mean(p_losses)))
-            history.mse_loss.append(float(np.mean(mse_losses)))
-            history.adversarial_loss.append(float(np.mean(adv_losses)))
-            history.discriminator_loss.append(float(np.mean(d_losses)))
-            history.discriminator_real_prob.append(float(np.mean(real_probs)))
-            history.discriminator_fake_prob.append(float(np.mean(fake_probs)))
+            history.predictor_loss.append(_mean(p_losses))
+            history.mse_loss.append(_mean(mse_losses))
+            history.adversarial_loss.append(_mean(adv_losses))
+            history.discriminator_loss.append(_mean(d_losses))
+            history.discriminator_real_prob.append(_mean(real_probs))
+            history.discriminator_fake_prob.append(_mean(fake_probs))
+            history.predictor_grad_norm.append(_mean(p_norms))
+            history.discriminator_grad_norm.append(_mean(d_norms))
+            if rec is not None:
+                rec.event(
+                    "adv_epoch",
+                    epoch=epoch,
+                    predictor_loss=history.predictor_loss[-1],
+                    mse_loss=history.mse_loss[-1],
+                    adversarial_loss=history.adversarial_loss[-1],
+                    discriminator_loss=history.discriminator_loss[-1],
+                    discriminator_real_prob=history.discriminator_real_prob[-1],
+                    discriminator_fake_prob=history.discriminator_fake_prob[-1],
+                    predictor_grad_norm=history.predictor_grad_norm[-1],
+                    discriminator_grad_norm=history.discriminator_grad_norm[-1],
+                )
             if verbose:
                 print(
                     f"epoch {epoch + 1}/{self.spec.epochs}: "

@@ -24,6 +24,7 @@ from ..data.dataset import TrafficDataset
 from ..data.features import FeatureConfig, FeatureScalers
 from ..metrics.errors import all_errors
 from ..metrics.regimes import RegimeMasks, classify_regimes
+from ..obs import RunRecorder
 from .adversarial import AdversarialHistory, APOTSTrainer
 from .config import PRESETS, ModelSpec, ScalePreset, TrainSpec, table1_spec
 from .discriminator import Discriminator
@@ -143,8 +144,18 @@ class APOTS:
             )
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: TrafficDataset, verbose: bool = False) -> "APOTS":
-        """Train on the dataset's train split; returns self."""
+    def fit(
+        self,
+        dataset: TrafficDataset,
+        verbose: bool = False,
+        recorder: "RunRecorder | None" = None,
+    ) -> "APOTS":
+        """Train on the dataset's train split; returns self.
+
+        ``recorder`` (a :class:`repro.obs.RunRecorder`) is forwarded to
+        the trainer; without one the trainer falls back to the ambient
+        recorder, and with neither the run is unobserved (zero cost).
+        """
         self._check_dataset(dataset)
         self.scalers = dataset.features.scalers
         if self.adversarial:
@@ -152,7 +163,7 @@ class APOTS:
             trainer = APOTSTrainer(self.predictor, self.discriminator, self.train_spec)
         else:
             trainer = SupervisedTrainer(self.predictor, self.train_spec)
-        self.history = trainer.fit(dataset, verbose=verbose)
+        self.history = trainer.fit(dataset, verbose=verbose, recorder=recorder)
         return self
 
     def predict(self, dataset: TrafficDataset, subset: str = "test") -> np.ndarray:

@@ -3,16 +3,25 @@
 Minimises the per-speed MSE of Eq 1's first term only.  Tracks train and
 validation loss per epoch; the experiment harness uses validation MAPE
 for early-stopping-style model selection when requested.
+
+Observability mirrors :class:`repro.core.adversarial.APOTSTrainer`:
+``fit`` accepts an optional :class:`repro.obs.RunRecorder` (falling
+back to the ambient one), emits ``step`` / ``epoch`` / ``early_stop``
+events with losses and pre-clip gradient norms, and runs a
+:class:`repro.obs.TrainingMonitor` that flags NaN/Inf losses and
+gradient norms.  Without a recorder the extra branches are skipped.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..data.dataset import TrafficDataset, iterate_batches
+from ..obs import RunRecorder, TrainingMonitor, current_recorder
 from .config import TrainSpec
 from .predictors import Predictor
 
@@ -25,6 +34,7 @@ class TrainHistory:
 
     train_loss: list[float] = field(default_factory=list)
     validation_loss: list[float] = field(default_factory=list)
+    grad_norm: list[float] = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:
@@ -50,33 +60,71 @@ class SupervisedTrainer:
                 return
             yield dataset.batch(indices)
 
-    def fit(self, dataset: TrafficDataset, verbose: bool = False) -> TrainHistory:
+    def fit(
+        self,
+        dataset: TrafficDataset,
+        verbose: bool = False,
+        recorder: RunRecorder | None = None,
+    ) -> TrainHistory:
         """Train for up to ``spec.epochs`` epochs; returns the loss history.
 
         With ``spec.early_stopping_patience`` set, training stops after
         that many epochs without a validation improvement and the best
-        weights (by validation loss) are restored.
+        weights (by validation loss) are restored.  ``recorder``
+        defaults to the ambient :func:`repro.obs.use_recorder` recorder.
         """
         rng = np.random.default_rng(self.spec.seed)
         history = TrainHistory()
+        rec = recorder if recorder is not None else current_recorder()
+        monitor = TrainingMonitor(rec) if rec is not None else None
+        if rec is not None:
+            rec.annotate(
+                trainer="SupervisedTrainer", train_spec=asdict(self.spec), seed=self.spec.seed
+            )
+        section = rec.section if rec is not None else (lambda name: nullcontext())
         patience = self.spec.early_stopping_patience
         best_val = float("inf")
         best_state = None
         stale_epochs = 0
         self.predictor.train()
+        global_step = 0
         for epoch in range(self.spec.epochs):
             losses = []
-            for batch in self._epoch_batches(dataset, rng):
-                prediction = self.predictor.predict_arrays(batch.images, batch.day_types, batch.flat)
-                loss = self.loss_fn(prediction, batch.targets)
-                self.optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
-                self.optimizer.step()
-                losses.append(loss.item())
+            grad_norms = []
+            for step, batch in enumerate(self._epoch_batches(dataset, rng)):
+                with section("train_step"):
+                    prediction = self.predictor.predict_arrays(
+                        batch.images, batch.day_types, batch.flat
+                    )
+                    loss = self.loss_fn(prediction, batch.targets)
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    grad_norm = nn.clip_grad_norm(
+                        self.predictor.parameters(), self.spec.grad_clip
+                    )
+                    self.optimizer.step()
+                loss_value = loss.item()
+                losses.append(loss_value)
+                grad_norms.append(grad_norm)
+                if monitor is not None:
+                    monitor.check_finite(global_step, train_loss=loss_value, grad_norm=grad_norm)
+                if rec is not None:
+                    rec.event(
+                        "step", epoch=epoch, step=step, loss=loss_value, grad_norm=grad_norm
+                    )
+                global_step += 1
             history.train_loss.append(float(np.mean(losses)) if losses else float("nan"))
+            history.grad_norm.append(float(np.mean(grad_norms)) if grad_norms else float("nan"))
             val_loss = self.validation_loss(dataset)
             history.validation_loss.append(val_loss)
+            if rec is not None:
+                rec.event(
+                    "epoch",
+                    epoch=epoch,
+                    train_loss=history.train_loss[-1],
+                    validation_loss=val_loss,
+                    grad_norm=history.grad_norm[-1],
+                )
             if verbose:
                 print(
                     f"epoch {epoch + 1}/{self.spec.epochs}: "
@@ -92,6 +140,8 @@ class SupervisedTrainer:
                     if stale_epochs >= patience:
                         if verbose:
                             print(f"early stop after epoch {epoch + 1} (patience {patience})")
+                        if rec is not None:
+                            rec.event("early_stop", epoch=epoch, patience=patience)
                         break
         if best_state is not None:
             self.predictor.load_state_dict(best_state)

@@ -13,6 +13,11 @@ Regenerate Table III at the medium scale::
 Run everything at smoke scale (fast sanity sweep)::
 
     python -m repro.experiments all --preset smoke
+
+Record per-experiment observability run logs (JSONL events + manifest,
+one run directory per experiment, see ``repro.obs``)::
+
+    python -m repro.experiments table3 --preset smoke --obs-dir runs/
 """
 
 from __future__ import annotations
@@ -20,8 +25,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from ..obs import RunRecorder, use_recorder
 from .registry import EXPERIMENTS, run_experiment
+from .reporting import render_run_log_reference
 
 __all__ = ["main"]
 
@@ -39,6 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--preset", default="medium", help="scale preset: smoke | medium | paper")
     parser.add_argument("--seed", type=int, default=None, help="master random seed")
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="record a repro.obs run log (manifest + JSONL events) per experiment under DIR",
+    )
     return parser
 
 
@@ -52,9 +66,20 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        result = run_experiment(name, preset=args.preset, seed=args.seed)
+        if args.obs_dir is not None:
+            recorder = RunRecorder(
+                Path(args.obs_dir) / name,
+                manifest={"experiment": name, "preset": args.preset, "cli_seed": args.seed},
+            )
+            with recorder, use_recorder(recorder):
+                result = run_experiment(name, preset=args.preset, seed=args.seed)
+        else:
+            recorder = None
+            result = run_experiment(name, preset=args.preset, seed=args.seed)
         elapsed = time.time() - started
         print(result.render())
+        if recorder is not None:
+            print(render_run_log_reference(recorder))
         print(f"\n[{name} done in {elapsed:.1f}s at preset={args.preset}]\n")
     return 0
 

@@ -11,7 +11,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_bars", "render_series", "format_value"]
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_series",
+    "render_run_log_reference",
+    "format_value",
+]
 
 
 def format_value(value, decimals: int = 2) -> str:
@@ -81,6 +87,25 @@ def render_bars(
             parts.append(f"{label.rjust(label_width)}  {name.ljust(name_width)} |{bar} {text}")
         parts.append("")
     return "\n".join(parts).rstrip()
+
+
+def render_run_log_reference(recorder) -> str:
+    """One-line pointer from a rendered result to its obs run log.
+
+    ``recorder`` is a :class:`repro.obs.RunRecorder` (duck-typed here so
+    this plain-text module needs no obs import); printed by the CLI
+    under each experiment when ``--obs-dir`` is given.
+    """
+    warnings = recorder.warning_counts
+    warning_text = (
+        "no warnings"
+        if not warnings
+        else "warnings: " + ", ".join(f"{code}×{n}" for code, n in sorted(warnings.items()))
+    )
+    return (
+        f"[obs] run {recorder.run_id}: {recorder.num_events} events -> "
+        f"{recorder.events_path} ({warning_text})"
+    )
 
 
 def render_series(

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.config import PRESETS, ScalePreset
 from ..core.model import APOTS
+from ..obs import current_recorder
 from ..data.dataset import TrafficDataset
 from ..data.features import FactorMask, FeatureConfig
 from ..data.split import SplitIndices, split_windows
@@ -127,9 +128,13 @@ def train_model(
     if conditional is None:
         conditional = dataset.config.mask.uses_additional
     preset = resolve_preset(preset)
+    recorder = current_recorder()
     key = (kind, adversarial, conditional, preset, seed, dataset.config)
     if use_cache and key in _MODEL_CACHE:
-        return _MODEL_CACHE[key]
+        model = _MODEL_CACHE[key]
+        if recorder is not None:
+            recorder.event("model_fit", name=model.name, preset=preset.name, cached=True)
+        return model
     model = APOTS(
         predictor=kind,
         features=dataset.config,
@@ -138,6 +143,17 @@ def train_model(
         preset=preset,
         seed=seed,
     )
+    if recorder is not None:
+        recorder.event(
+            "model_fit",
+            name=model.name,
+            predictor=kind,
+            adversarial=adversarial,
+            conditional=conditional,
+            preset=preset.name,
+            seed=seed,
+            cached=False,
+        )
     model.fit(dataset)
     if use_cache:
         _MODEL_CACHE[key] = model

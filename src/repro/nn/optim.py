@@ -138,16 +138,31 @@ class RMSprop(Optimizer):
             param.data -= self.lr * param.grad / (np.sqrt(sq) + self.eps)
 
 
-def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+def clip_grad_norm(
+    params: Sequence[Parameter], max_norm: float, *, drop_nonfinite: bool = True
+) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm (useful for logging divergence).
+
+    A NaN/Inf gradient makes the norm non-finite, and ``norm >
+    max_norm`` is False for NaN — naive clipping would wave poisoned
+    gradients straight through into the optimiser's running moments.
+    With ``drop_nonfinite`` (the default) a non-finite norm instead
+    clears every gradient to ``None`` so the following ``step()`` is a
+    no-op, and the non-finite norm is still returned so callers (the
+    :mod:`repro.obs` monitors) can surface the incident.
     """
     total = 0.0
     for param in params:
         if param.grad is not None:
             total += float(np.sum(param.grad * param.grad))
-    norm = math.sqrt(total)
+    norm = math.sqrt(total) if math.isfinite(total) else total
+    if not math.isfinite(norm):
+        if drop_nonfinite:
+            for param in params:
+                param.grad = None
+        return norm
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
         for param in params:

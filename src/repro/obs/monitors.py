@@ -1,0 +1,228 @@
+"""Training-health monitors: the failure modes that fail silently.
+
+The APOTS minimax game degrades without crashing: D saturates and P's
+adversarial gradient vanishes, P collapses to a near-constant sequence,
+or a NaN sneaks into a loss and poisons every running mean downstream.
+These monitors watch the per-step signals both trainers already compute
+(losses, D(real)/D(fake) probabilities, the adversarial share of P's
+loss, pre-clip gradient norms) and raise *structured* warnings: each
+incident is recorded as a ``warning`` event on the attached
+:class:`~repro.obs.recorder.RunRecorder` and surfaced as a
+:class:`GanHealthWarning` via :mod:`warnings` so tests and operators
+can assert on it.
+
+Warning codes (thresholds in :class:`MonitorConfig`):
+
+* ``non_finite_loss`` — a loss term went NaN/Inf (immediate).
+* ``non_finite_grad_norm`` — the pre-clip gradient norm is NaN/Inf;
+  ``nn.clip_grad_norm`` has already dropped the gradients so the
+  optimiser step is a no-op (immediate).
+* ``d_saturation`` — D(real) ≥ ``d_real_saturation`` and D(fake) ≤
+  ``d_fake_saturation`` for ``patience`` consecutive steps: D has won
+  and P's adversarial term carries no gradient signal.
+* ``adv_loss_vanished`` — the adversarial share of P's total loss
+  stayed below ``adv_share_floor`` for ``patience`` steps: the game
+  has degenerated into plain supervised training.
+* ``mode_collapse`` — the within-batch std of P's generated sequences
+  stayed below ``collapse_std_floor`` for ``patience`` steps: P emits
+  near-identical sequences regardless of input.
+
+Episode semantics: the three patience-based codes fire once per
+*episode* — after firing, the condition must clear before the monitor
+re-arms — so a saturated run produces one warning, not one per step.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+
+from .recorder import RunRecorder
+
+__all__ = ["GanHealthWarning", "MonitorConfig", "TrainingMonitor", "GanHealthMonitor"]
+
+
+class GanHealthWarning(UserWarning):
+    """Structured training-health warning (also recorded as an event)."""
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Thresholds for the GAN-health checks (see module docstring)."""
+
+    d_real_saturation: float = 0.98
+    d_fake_saturation: float = 0.02
+    adv_share_floor: float = 1e-4
+    collapse_std_floor: float = 1e-3
+    patience: int = 20
+
+
+class TrainingMonitor:
+    """Non-finiteness watchdog shared by both trainers.
+
+    ``recorder`` is optional: without one the monitor still raises
+    python warnings and counts incidents, it just has nowhere to
+    persist the structured events.
+    """
+
+    def __init__(
+        self,
+        recorder: RunRecorder | None = None,
+        config: MonitorConfig | None = None,
+        *,
+        emit_python_warnings: bool = True,
+    ):
+        self.recorder = recorder
+        self.config = config if config is not None else MonitorConfig()
+        self.emit_python_warnings = emit_python_warnings
+        #: code -> number of incidents raised so far.
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _raise(self, code: str, message: str, **fields) -> str:
+        self.counts[code] = self.counts.get(code, 0) + 1
+        if self.recorder is not None:
+            self.recorder.warning(code, message, **fields)
+        if self.emit_python_warnings:
+            warnings.warn(f"[{code}] {message}", GanHealthWarning, stacklevel=3)
+        return code
+
+    def check_finite(self, step: int, **values: float) -> list[str]:
+        """Raise ``non_finite_loss`` / ``non_finite_grad_norm`` incidents.
+
+        ``values`` maps signal names to floats; names ending in
+        ``grad_norm`` are classified as gradient norms (whose update
+        was already skipped by ``nn.clip_grad_norm``), everything else
+        as a loss term.
+        """
+        raised = []
+        for name, value in values.items():
+            if math.isfinite(value):
+                continue
+            if name.endswith("grad_norm"):
+                raised.append(
+                    self._raise(
+                        "non_finite_grad_norm",
+                        f"{name}={value} at step {step}; optimiser update skipped",
+                        step=step,
+                        signal=name,
+                        value=float(value),
+                    )
+                )
+            else:
+                raised.append(
+                    self._raise(
+                        "non_finite_loss",
+                        f"{name}={value} at step {step}",
+                        step=step,
+                        signal=name,
+                        value=float(value),
+                    )
+                )
+        return raised
+
+
+class GanHealthMonitor(TrainingMonitor):
+    """Adds the adversarial-game checks on top of finiteness."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._saturated_steps = 0
+        self._saturation_fired = False
+        self._vanished_steps = 0
+        self._vanished_fired = False
+        self._collapsed_steps = 0
+        self._collapse_fired = False
+
+    # ------------------------------------------------------------------
+    def _episode(self, active: bool, steps: int, fired: bool) -> tuple[int, bool, bool]:
+        """Advance one patience counter; returns (steps, fired, fire_now)."""
+        if not active:
+            return 0, False, False
+        steps += 1
+        if fired or steps < self.config.patience:
+            return steps, fired, False
+        return steps, True, True
+
+    def observe_discriminator(
+        self,
+        step: int,
+        *,
+        loss: float,
+        real_prob: float,
+        fake_prob: float,
+        grad_norm: float,
+    ) -> list[str]:
+        """Feed one D update; returns the warning codes raised."""
+        raised = self.check_finite(step, d_loss=loss, d_grad_norm=grad_norm)
+        saturated = (
+            real_prob >= self.config.d_real_saturation
+            and fake_prob <= self.config.d_fake_saturation
+        )
+        self._saturated_steps, self._saturation_fired, fire = self._episode(
+            saturated, self._saturated_steps, self._saturation_fired
+        )
+        if fire:
+            raised.append(
+                self._raise(
+                    "d_saturation",
+                    f"D(real)={real_prob:.3f} D(fake)={fake_prob:.3f} for "
+                    f"{self._saturated_steps} consecutive steps: the adversarial "
+                    "term has no gradient signal",
+                    step=step,
+                    real_prob=real_prob,
+                    fake_prob=fake_prob,
+                    consecutive_steps=self._saturated_steps,
+                )
+            )
+        return raised
+
+    def observe_predictor(
+        self,
+        step: int,
+        *,
+        loss: float,
+        mse: float,
+        adv: float,
+        adv_share: float,
+        grad_norm: float,
+        fake_std: float,
+    ) -> list[str]:
+        """Feed one P update; returns the warning codes raised."""
+        raised = self.check_finite(
+            step, p_loss=loss, mse_loss=mse, adv_loss=adv, p_grad_norm=grad_norm
+        )
+        vanished = math.isfinite(adv_share) and adv_share < self.config.adv_share_floor
+        self._vanished_steps, self._vanished_fired, fire = self._episode(
+            vanished, self._vanished_steps, self._vanished_fired
+        )
+        if fire:
+            raised.append(
+                self._raise(
+                    "adv_loss_vanished",
+                    f"adversarial share {adv_share:.2e} of P's loss below "
+                    f"{self.config.adv_share_floor:.0e} for {self._vanished_steps} "
+                    "consecutive steps: the game degenerated to supervised training",
+                    step=step,
+                    adv_share=adv_share,
+                    consecutive_steps=self._vanished_steps,
+                )
+            )
+        collapsed = math.isfinite(fake_std) and fake_std < self.config.collapse_std_floor
+        self._collapsed_steps, self._collapse_fired, fire = self._episode(
+            collapsed, self._collapsed_steps, self._collapse_fired
+        )
+        if fire:
+            raised.append(
+                self._raise(
+                    "mode_collapse",
+                    f"generated-sequence std {fake_std:.2e} below "
+                    f"{self.config.collapse_std_floor:.0e} for {self._collapsed_steps} "
+                    "consecutive steps: P emits near-constant sequences",
+                    step=step,
+                    fake_std=fake_std,
+                    consecutive_steps=self._collapsed_steps,
+                )
+            )
+        return raised

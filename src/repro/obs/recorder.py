@@ -1,0 +1,201 @@
+"""Structured run recording: JSONL event streams plus a run manifest.
+
+A :class:`RunRecorder` owns one run directory containing
+
+* ``manifest.json`` — who/what/when: run id, start and finish wall
+  clock, ``git describe`` of the source tree, python/numpy versions,
+  caller-supplied fields (experiment name, preset, training spec,
+  seed), and — after :meth:`RunRecorder.close` — event/warning counts
+  and per-section latency summaries.
+* ``events.jsonl`` — one JSON object per line, appended as training
+  (or serving) progresses.  Every event carries ``seq`` (monotonic),
+  ``ts`` (epoch seconds) and ``kind``; the remaining fields are
+  kind-specific and documented in :mod:`repro.obs.schema`.
+
+Recording is strictly opt-in: trainers take ``recorder=None`` and skip
+every instrumentation branch when no recorder is attached, so the
+default path stays zero-cost (held by ``benchmarks/``).
+
+The *ambient* recorder (:func:`use_recorder` / :func:`current_recorder`)
+lets the experiment CLI attach one recorder per experiment without
+threading it through every runner signature: trainers fall back to the
+ambient recorder when none is passed explicitly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import subprocess
+import sys
+import time
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .telemetry import Telemetry
+
+__all__ = ["RunRecorder", "current_recorder", "use_recorder"]
+
+
+def _git_describe() -> str | None:
+    """``git describe`` of the source tree, or None outside a checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return result.stdout.strip() or None if result.returncode == 0 else None
+
+
+def _json_default(value):
+    """Serialise numpy scalars/arrays that leak into event fields."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+class RunRecorder:
+    """Streams per-step/per-epoch events to JSONL under one run dir."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        run_id: str | None = None,
+        manifest: dict | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self._clock = clock
+        self.telemetry = Telemetry()
+        self.started_at = self._clock()
+        self.closed = False
+        self._seq = 0
+        self._warning_counts: dict[str, int] = {}
+        self._manifest: dict = {
+            "run_id": self.run_id,
+            "started_at": self.started_at,
+            "git": _git_describe(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        }
+        if manifest:
+            self._manifest.update(manifest)
+        self.manifest_path = self.directory / "manifest.json"
+        self.events_path = self.directory / "events.jsonl"
+        self._events_file = self.events_path.open("a", encoding="utf-8")
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        self.manifest_path.write_text(
+            json.dumps(self._manifest, indent=2, default=_json_default, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def annotate(self, **fields) -> None:
+        """Merge extra fields into the manifest (rewritten immediately).
+
+        Trainers use this to stamp the run with their spec/seed; when
+        several models train under one recorder the last annotation
+        wins — per-model detail lives in ``model_fit`` events.
+        """
+        self._manifest.update(fields)
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields) -> dict:
+        """Append one structured event line; returns the written dict."""
+        if self.closed:
+            raise RuntimeError("recorder is closed")
+        record = {"seq": self._seq, "ts": self._clock(), "kind": kind, **fields}
+        self._seq += 1
+        self._events_file.write(json.dumps(record, default=_json_default) + "\n")
+        self._events_file.flush()
+        return record
+
+    def warning(self, code: str, message: str, **fields) -> dict:
+        """Record a structured warning event (monitors call this)."""
+        self._warning_counts[code] = self._warning_counts.get(code, 0) + 1
+        return self.event("warning", code=code, message=message, **fields)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time a scoped section into the ``section.<name>`` histogram."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.telemetry.histogram(f"section.{name}").observe(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return self._seq
+
+    @property
+    def warning_counts(self) -> dict[str, int]:
+        return dict(self._warning_counts)
+
+    def close(self) -> None:
+        """Finalise the manifest (durations, counts, section summaries)."""
+        if self.closed:
+            return
+        finished = self._clock()
+        self._manifest.update(
+            finished_at=finished,
+            duration_seconds=finished - self.started_at,
+            num_events=self._seq,
+            warnings=dict(self._warning_counts),
+            sections={
+                name.removeprefix("section."): snap
+                for name, snap in self.telemetry.snapshot()["histograms"].items()
+                if name.startswith("section.")
+            },
+        )
+        self._write_manifest()
+        self._events_file.close()
+        self.closed = True
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Ambient recorder: lets the CLI attach a recorder per experiment
+# without threading it through every runner signature.
+
+_CURRENT: contextvars.ContextVar[RunRecorder | None] = contextvars.ContextVar(
+    "repro_obs_recorder", default=None
+)
+
+
+def current_recorder() -> RunRecorder | None:
+    """The ambient recorder installed by :func:`use_recorder`, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_recorder(recorder: RunRecorder) -> Iterator[RunRecorder]:
+    """Install ``recorder`` as the ambient recorder for the with-block."""
+    token = _CURRENT.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _CURRENT.reset(token)

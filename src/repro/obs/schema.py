@@ -1,0 +1,147 @@
+"""Event and manifest schema for :mod:`repro.obs` run logs.
+
+Hand-rolled (no jsonschema dependency in this environment): the schema
+is a dict from event ``kind`` to the required kind-specific fields and
+their types, and the validator walks a run directory checking
+
+* ``manifest.json`` carries the required identity fields, and
+* every ``events.jsonl`` line carries the common envelope
+  (``seq``/``ts``/``kind``) plus its kind's required fields.
+
+``tools/ci.sh`` runs this (via ``tools/obs_smoke.py``) against a real
+2-epoch adversarial training so the schema can never drift from what
+the trainers actually emit.
+
+Numbers may legitimately be NaN/Inf (a NaN loss is exactly what the
+run log must capture), so numeric fields accept any float/int and the
+file is parsed with Python's ``json``, which round-trips them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["EVENT_SCHEMA", "MANIFEST_REQUIRED", "validate_event", "validate_run_dir"]
+
+_NUM = (int, float)
+_STR = (str,)
+_INT = (int,)
+
+#: kind -> {field: accepted types}. The envelope (seq/ts/kind) is
+#: required for every event and checked separately.
+EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
+    # Supervised trainer -------------------------------------------------
+    "step": {"epoch": _INT, "step": _INT, "loss": _NUM, "grad_norm": _NUM},
+    "epoch": {
+        "epoch": _INT,
+        "train_loss": _NUM,
+        "validation_loss": _NUM,
+        "grad_norm": _NUM,
+    },
+    "early_stop": {"epoch": _INT, "patience": _INT},
+    # Adversarial trainer ------------------------------------------------
+    "d_step": {
+        "epoch": _INT,
+        "step": _INT,
+        "loss": _NUM,
+        "real_prob": _NUM,
+        "fake_prob": _NUM,
+        "grad_norm": _NUM,
+    },
+    "p_step": {
+        "epoch": _INT,
+        "step": _INT,
+        "loss": _NUM,
+        "mse_loss": _NUM,
+        "adv_loss": _NUM,
+        "adv_share": _NUM,
+        "grad_norm": _NUM,
+        "fake_std": _NUM,
+    },
+    "adv_epoch": {
+        "epoch": _INT,
+        "predictor_loss": _NUM,
+        "mse_loss": _NUM,
+        "adversarial_loss": _NUM,
+        "discriminator_loss": _NUM,
+        "discriminator_real_prob": _NUM,
+        "discriminator_fake_prob": _NUM,
+        "predictor_grad_norm": _NUM,
+        "discriminator_grad_norm": _NUM,
+    },
+    # Harness / monitors -------------------------------------------------
+    "model_fit": {"name": _STR},
+    "warning": {"code": _STR, "message": _STR},
+}
+
+#: Fields every manifest.json must carry from the moment it is created.
+MANIFEST_REQUIRED = ("run_id", "started_at", "git", "python", "numpy")
+
+
+def validate_event(event: dict) -> list[str]:
+    """Schema errors for one decoded event dict (empty list = valid)."""
+    errors: list[str] = []
+    for field, types in (("seq", _INT), ("ts", _NUM), ("kind", _STR)):
+        value = event.get(field)
+        # bool is an int subclass; never a valid numeric field here.
+        if not isinstance(value, types) or isinstance(value, bool):
+            errors.append(f"envelope field {field!r} missing or not {types[0].__name__}")
+    kind = event.get("kind")
+    if not isinstance(kind, str):
+        return errors
+    required = EVENT_SCHEMA.get(kind)
+    if required is None:
+        errors.append(f"unknown event kind {kind!r}")
+        return errors
+    for field, types in required.items():
+        value = event.get(field)
+        if not isinstance(value, types) or isinstance(value, bool):
+            errors.append(f"{kind}: field {field!r} missing or not {types[0].__name__}")
+    return errors
+
+
+def validate_run_dir(directory: str | Path) -> list[str]:
+    """All schema errors for one run directory (empty list = valid)."""
+    directory = Path(directory)
+    errors: list[str] = []
+
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.is_file():
+        errors.append("manifest.json missing")
+    else:
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            errors.append(f"manifest.json: invalid JSON ({exc})")
+        else:
+            errors.extend(
+                f"manifest.json: missing field {field!r}"
+                for field in MANIFEST_REQUIRED
+                if field not in manifest
+            )
+
+    events_path = directory / "events.jsonl"
+    if not events_path.is_file():
+        errors.append("events.jsonl missing")
+        return errors
+    previous_seq = -1
+    with events_path.open(encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"events.jsonl:{lineno}: invalid JSON ({exc})")
+                continue
+            errors.extend(f"events.jsonl:{lineno}: {err}" for err in validate_event(event))
+            seq = event.get("seq")
+            if isinstance(seq, int) and not isinstance(seq, bool):
+                if seq <= previous_seq:
+                    errors.append(
+                        f"events.jsonl:{lineno}: seq {seq} not monotonic "
+                        f"(previous {previous_seq})"
+                    )
+                previous_seq = seq
+    return errors

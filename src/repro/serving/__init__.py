@@ -3,7 +3,8 @@
 Turns a checkpoint into a live service: rolling per-segment state
 ingestion (:mod:`state`), request coalescing (:mod:`batcher`), TTL+LRU
 forecast caching (:mod:`cache`), the :class:`ForecastService` facade
-(:mod:`service`) and counters/latency histograms (:mod:`telemetry`).
+(:mod:`service`) and counters/latency histograms (re-exported from
+:mod:`repro.obs.telemetry`; :mod:`telemetry` is a compat shim).
 
 This layer is experiment-free by construction: it may depend on
 ``repro.core`` / ``repro.data`` / ``repro.nn`` but never on

@@ -34,7 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .state import WindowView
-from .telemetry import Telemetry
+from ..obs.telemetry import Telemetry
 
 __all__ = ["PendingForecast", "MicroBatcher"]
 

@@ -44,7 +44,19 @@ class ForecastCache:
         self.lru_evictions = 0
 
     def __len__(self) -> int:
+        # A stalled stream never calls get() on its keys, so expired
+        # entries would otherwise sit in the size count forever and a
+        # "full" cache would be reported to operators indefinitely.
+        self._sweep_expired()
         return len(self._entries)
+
+    def _sweep_expired(self) -> None:
+        """Drop (and count as TTL evictions) every expired entry."""
+        now = self._clock()
+        expired = [key for key, (_, expires_at) in self._entries.items() if expires_at <= now]
+        for key in expired:
+            del self._entries[key]
+        self.ttl_evictions += len(expired)
 
     def __contains__(self, key: Hashable) -> bool:
         entry = self._entries.get(key)
@@ -86,6 +98,7 @@ class ForecastCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
+        self._sweep_expired()
         return {
             "size": len(self._entries),
             "capacity": self.capacity,

@@ -38,7 +38,7 @@ from .batcher import MicroBatcher, PendingForecast
 from .cache import ForecastCache
 from .errors import IncompleteWindowError
 from .state import Observation, SegmentStateStore, WindowView
-from .telemetry import Telemetry
+from ..obs.telemetry import Telemetry
 
 __all__ = ["Forecast", "ForecastService"]
 

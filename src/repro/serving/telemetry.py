@@ -1,93 +1,12 @@
-"""Lightweight serving telemetry: counters and sampling histograms.
+"""Back-compat shim: telemetry moved to :mod:`repro.obs.telemetry`.
 
-No external metrics stack is available in this environment, so this is
-the minimal useful core: monotonic counters, bounded-reservoir
-histograms with percentile summaries, and a :meth:`Telemetry.snapshot`
-dict that the benchmark harness and the serving example print directly.
+PR 2 promoted the Counter/Histogram/Telemetry primitives into the
+shared observability layer so the training side can use them without
+importing serving. Import from ``repro.obs`` in new code; this module
+only keeps ``repro.serving.telemetry`` (and the ``repro.serving``
+re-exports) working.
 """
 
-from __future__ import annotations
-
-from collections import deque
-
-import numpy as np
+from ..obs.telemetry import Counter, Histogram, Telemetry
 
 __all__ = ["Counter", "Histogram", "Telemetry"]
-
-
-class Counter:
-    """A monotonic counter."""
-
-    __slots__ = ("value",)
-
-    def __init__(self):
-        self.value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        self.value += amount
-
-
-class Histogram:
-    """Summary statistics over observed values.
-
-    Keeps exact totals (count/sum) forever and the most recent
-    ``max_samples`` observations for percentile estimates, so memory
-    stays bounded on long-running services.
-    """
-
-    def __init__(self, max_samples: int = 8192):
-        self.count = 0
-        self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
-        self._samples: deque[float] = deque(maxlen=max_samples)
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-        self._samples.append(value)
-
-    def percentile(self, q: float) -> float:
-        if not self._samples:
-            return float("nan")
-        return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
-
-    def snapshot(self) -> dict:
-        if self.count == 0:
-            return {"count": 0}
-        samples = np.fromiter(self._samples, dtype=np.float64)
-        p50, p90, p99 = np.percentile(samples, [50.0, 90.0, 99.0])
-        return {
-            "count": self.count,
-            "mean": self.total / self.count,
-            "min": self.minimum,
-            "max": self.maximum,
-            "p50": float(p50),
-            "p90": float(p90),
-            "p99": float(p99),
-        }
-
-
-class Telemetry:
-    """A named registry of counters and histograms."""
-
-    def __init__(self):
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter())
-
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram())
-
-    def snapshot(self) -> dict:
-        return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "histograms": {name: h.snapshot() for name, h in sorted(self._histograms.items())},
-        }

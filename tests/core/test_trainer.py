@@ -1,9 +1,12 @@
 """Tests for the plain supervised trainer."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core import SupervisedTrainer, TrainSpec, build_predictor, table1_spec
+from repro.obs import RunRecorder, validate_run_dir
 
 
 def make_trainer(dataset, epochs=3, seed=0):
@@ -62,6 +65,40 @@ class TestFit:
     def test_verbose_prints(self, tiny_dataset, capsys):
         make_trainer(tiny_dataset, epochs=1).fit(tiny_dataset, verbose=True)
         assert "epoch 1/1" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_fit_emits_valid_run_log(self, tiny_dataset, tmp_path):
+        trainer = make_trainer(tiny_dataset, epochs=2)
+        recorder = RunRecorder(tmp_path / "run")
+        history = trainer.fit(tiny_dataset, recorder=recorder)
+        recorder.close()
+        assert validate_run_dir(recorder.directory) == []
+        events = [
+            json.loads(line)
+            for line in recorder.events_path.read_text().splitlines()
+            if line.strip()
+        ]
+        epochs = [e for e in events if e["kind"] == "epoch"]
+        assert len(epochs) == history.epochs_run == 2
+        assert all(np.isfinite(e["grad_norm"]) for e in epochs)
+        steps = [e for e in events if e["kind"] == "step"]
+        assert len(steps) == 2 * 8  # epochs * max_steps_per_epoch
+        manifest = json.loads(recorder.manifest_path.read_text())
+        assert manifest["trainer"] == "SupervisedTrainer"
+        assert "train_step" in manifest["sections"]
+
+    def test_grad_norm_history_tracked(self, tiny_dataset):
+        history = make_trainer(tiny_dataset, epochs=2).fit(tiny_dataset)
+        assert len(history.grad_norm) == 2
+        assert np.all(np.isfinite(history.grad_norm))
+
+    def test_recorder_does_not_change_trajectory(self, tiny_dataset, tmp_path):
+        plain = make_trainer(tiny_dataset, seed=9).fit(tiny_dataset)
+        recorder = RunRecorder(tmp_path / "run")
+        observed = make_trainer(tiny_dataset, seed=9).fit(tiny_dataset, recorder=recorder)
+        recorder.close()
+        np.testing.assert_allclose(plain.train_loss, observed.train_loss)
 
 
 class TestValidationLoss:

@@ -32,6 +32,22 @@ class TestCliRunsExperiments:
         with pytest.raises(ValueError, match="unknown experiment"):
             main(["fig99", "--preset", "smoke"])
 
+    def test_obs_dir_records_run_log(self, capsys, tmp_path):
+        from repro.obs import validate_run_dir
+
+        obs_dir = tmp_path / "runs"
+        code = main(
+            ["ablation_conditioning", "--preset", "smoke", "--seed", "1", "--obs-dir", str(obs_dir)]
+        )
+        assert code == 0
+        run_dir = obs_dir / "ablation_conditioning"
+        assert validate_run_dir(run_dir) == []
+        events = run_dir.joinpath("events.jsonl").read_text()
+        assert '"model_fit"' in events
+        assert '"adv_epoch"' in events
+        out = capsys.readouterr().out
+        assert "[obs] run" in out
+
 
 class TestRegistryDispatch:
     @pytest.mark.parametrize(

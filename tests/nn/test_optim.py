@@ -147,6 +147,49 @@ class TestClipGradNorm:
         p = nn.Parameter(np.zeros(2))
         assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0
 
+    def test_nan_grad_dropped_and_norm_reported(self):
+        """A NaN gradient must not slip past the `norm > max_norm` check."""
+        p = nn.Parameter(np.zeros(2))
+        q = nn.Parameter(np.zeros(2))
+        p.grad = np.array([np.nan, 1.0])
+        q.grad = np.array([1.0, 1.0])  # healthy, but the *global* norm is poisoned
+        norm = nn.clip_grad_norm([p, q], max_norm=1.0)
+        assert np.isnan(norm)
+        assert p.grad is None and q.grad is None
+
+    def test_inf_grad_dropped(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([np.inf, 1.0])
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.isinf(norm)
+        assert p.grad is None
+
+    def test_nonfinite_keep_grads_opt_out(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([np.nan, 1.0])
+        norm = nn.clip_grad_norm([p], max_norm=1.0, drop_nonfinite=False)
+        assert np.isnan(norm)
+        assert p.grad is not None
+
+    def test_nan_grad_does_not_corrupt_adam_state(self):
+        """The poisoned step is skipped: params and moments stay finite."""
+        p = nn.Parameter(np.array([1.0, 2.0]))
+        opt = nn.Adam([p], lr=0.1)
+        # One healthy step to seed the moments.
+        p.grad = np.array([0.5, -0.5])
+        nn.clip_grad_norm([p], max_norm=5.0)
+        opt.step()
+        data_before = p.data.copy()
+        m_before = opt._m[0].copy()
+        # One poisoned step: clip drops the grads, Adam must no-op.
+        p.grad = np.array([np.nan, 1.0])
+        norm = nn.clip_grad_norm([p], max_norm=5.0)
+        assert not np.isfinite(norm)
+        opt.step()
+        np.testing.assert_array_equal(p.data, data_before)
+        np.testing.assert_array_equal(opt._m[0], m_before)
+        assert np.all(np.isfinite(opt._m[0])) and np.all(np.isfinite(opt._v[0]))
+
 
 class TestSchedulers:
     def test_step_lr(self):

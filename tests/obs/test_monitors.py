@@ -1,0 +1,106 @@
+"""GAN-health monitors: codes, episode semantics, structured events."""
+
+import json
+
+import pytest
+
+from repro.obs import GanHealthMonitor, GanHealthWarning, MonitorConfig, RunRecorder, TrainingMonitor
+
+
+def feed_d(monitor, step, real=0.99, fake=0.01, loss=0.5, norm=1.0):
+    return monitor.observe_discriminator(
+        step, loss=loss, real_prob=real, fake_prob=fake, grad_norm=norm
+    )
+
+
+def feed_p(monitor, step, loss=1.0, mse=0.5, adv=0.5, share=0.5, norm=1.0, std=1.0):
+    return monitor.observe_predictor(
+        step, loss=loss, mse=mse, adv=adv, adv_share=share, grad_norm=norm, fake_std=std
+    )
+
+
+class TestFiniteness:
+    def test_non_finite_loss_fires_immediately(self):
+        monitor = TrainingMonitor(emit_python_warnings=False)
+        assert monitor.check_finite(0, train_loss=float("nan")) == ["non_finite_loss"]
+        assert monitor.counts["non_finite_loss"] == 1
+
+    def test_non_finite_grad_norm_classified(self):
+        monitor = TrainingMonitor(emit_python_warnings=False)
+        assert monitor.check_finite(3, grad_norm=float("inf")) == ["non_finite_grad_norm"]
+
+    def test_finite_values_silent(self):
+        monitor = TrainingMonitor(emit_python_warnings=False)
+        assert monitor.check_finite(0, train_loss=1.0, grad_norm=2.0) == []
+        assert monitor.counts == {}
+
+    def test_python_warning_emitted(self):
+        monitor = TrainingMonitor()
+        with pytest.warns(GanHealthWarning, match="non_finite_loss"):
+            monitor.check_finite(0, train_loss=float("nan"))
+
+
+class TestDSaturation:
+    def test_fires_after_patience(self):
+        cfg = MonitorConfig(patience=3)
+        monitor = GanHealthMonitor(config=cfg, emit_python_warnings=False)
+        assert feed_d(monitor, 0) == []
+        assert feed_d(monitor, 1) == []
+        assert feed_d(monitor, 2) == ["d_saturation"]
+
+    def test_fires_once_per_episode(self):
+        cfg = MonitorConfig(patience=2)
+        monitor = GanHealthMonitor(config=cfg, emit_python_warnings=False)
+        for step in range(6):
+            feed_d(monitor, step)
+        assert monitor.counts["d_saturation"] == 1
+        # Condition clears -> monitor re-arms -> a second episode fires.
+        feed_d(monitor, 6, real=0.5, fake=0.5)
+        for step in range(7, 9):
+            feed_d(monitor, step)
+        assert monitor.counts["d_saturation"] == 2
+
+    def test_balanced_probs_never_fire(self):
+        monitor = GanHealthMonitor(config=MonitorConfig(patience=2), emit_python_warnings=False)
+        for step in range(10):
+            assert feed_d(monitor, step, real=0.7, fake=0.4) == []
+
+
+class TestPredictorChecks:
+    def test_adv_share_vanishing(self):
+        monitor = GanHealthMonitor(config=MonitorConfig(patience=2), emit_python_warnings=False)
+        assert feed_p(monitor, 0, share=1e-6) == []
+        assert feed_p(monitor, 1, share=1e-6) == ["adv_loss_vanished"]
+
+    def test_mode_collapse_on_flat_sequences(self):
+        monitor = GanHealthMonitor(config=MonitorConfig(patience=2), emit_python_warnings=False)
+        assert feed_p(monitor, 0, std=1e-5) == []
+        assert feed_p(monitor, 1, std=1e-5) == ["mode_collapse"]
+
+    def test_healthy_steps_silent(self):
+        monitor = GanHealthMonitor(config=MonitorConfig(patience=1), emit_python_warnings=False)
+        for step in range(5):
+            assert feed_p(monitor, step) == []
+
+    def test_nan_loss_detected_in_predictor_step(self):
+        monitor = GanHealthMonitor(emit_python_warnings=False)
+        codes = feed_p(monitor, 0, loss=float("nan"), share=float("nan"))
+        assert codes == ["non_finite_loss"]
+
+
+class TestRecorderIntegration:
+    def test_warning_events_are_structured(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        monitor = GanHealthMonitor(rec, MonitorConfig(patience=1), emit_python_warnings=False)
+        feed_d(monitor, 5)
+        rec.close()
+        events = [
+            json.loads(line) for line in rec.events_path.read_text().splitlines() if line.strip()
+        ]
+        assert len(events) == 1
+        event = events[0]
+        assert event["kind"] == "warning"
+        assert event["code"] == "d_saturation"
+        assert event["step"] == 5
+        assert event["real_prob"] == pytest.approx(0.99)
+        assert rec.warning_counts == {"d_saturation": 1}

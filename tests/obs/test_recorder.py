@@ -1,0 +1,125 @@
+"""RunRecorder: manifest, JSONL events, sections, ambient context."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import RunRecorder, current_recorder, use_recorder, validate_run_dir
+
+
+def read_events(recorder):
+    return [
+        json.loads(line)
+        for line in recorder.events_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+class TestManifest:
+    def test_written_on_open(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run", manifest={"experiment": "x"})
+        manifest = json.loads(rec.manifest_path.read_text())
+        assert manifest["run_id"] == rec.run_id
+        assert manifest["experiment"] == "x"
+        for field in ("started_at", "git", "python", "numpy"):
+            assert field in manifest
+        rec.close()
+
+    def test_close_finalises(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        rec.event("model_fit", name="APOTS_H")
+        rec.warning("d_saturation", "D won")
+        with rec.section("d_step"):
+            pass
+        rec.close()
+        manifest = json.loads(rec.manifest_path.read_text())
+        assert manifest["num_events"] == 2  # model_fit + warning
+        assert manifest["warnings"] == {"d_saturation": 1}
+        assert manifest["duration_seconds"] >= 0
+        assert manifest["sections"]["d_step"]["count"] == 1
+
+    def test_annotate_merges(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        rec.annotate(seed=7, trainer="APOTSTrainer")
+        manifest = json.loads(rec.manifest_path.read_text())
+        assert manifest["seed"] == 7 and manifest["trainer"] == "APOTSTrainer"
+        rec.close()
+
+    def test_close_idempotent_and_seals_events(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        rec.close()
+        rec.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            rec.event("model_fit", name="x")
+
+
+class TestEvents:
+    def test_envelope_and_payload(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run", clock=lambda: 123.0)
+        rec.event("model_fit", name="APOTS_F", cached=False)
+        rec.event("warning", code="c", message="m")
+        events = read_events(rec)
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0] == {
+            "seq": 0,
+            "ts": 123.0,
+            "kind": "model_fit",
+            "name": "APOTS_F",
+            "cached": False,
+        }
+        rec.close()
+
+    def test_numpy_and_nonfinite_values_roundtrip(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        rec.event(
+            "model_fit",
+            name="x",
+            loss=np.float64(1.5),
+            count=np.int64(3),
+            bad=float("nan"),
+            arr=np.arange(2),
+        )
+        event = read_events(rec)[0]
+        assert event["loss"] == 1.5 and event["count"] == 3 and event["arr"] == [0, 1]
+        assert np.isnan(event["bad"])
+        rec.close()
+
+    def test_validates_against_schema(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        rec.event("model_fit", name="APOTS_H")
+        rec.warning("mode_collapse", "flatline")
+        rec.close()
+        assert validate_run_dir(rec.directory) == []
+
+    def test_section_times_into_histogram(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        with rec.section("p_step"):
+            time.sleep(0.001)
+        hist = rec.telemetry.histogram("section.p_step")
+        assert hist.count == 1 and hist.maximum > 0
+        rec.close()
+
+
+class TestAmbientRecorder:
+    def test_default_is_none(self):
+        assert current_recorder() is None
+
+    def test_use_recorder_installs_and_restores(self, tmp_path):
+        rec = RunRecorder(tmp_path / "run")
+        with use_recorder(rec) as installed:
+            assert installed is rec
+            assert current_recorder() is rec
+        assert current_recorder() is None
+        rec.close()
+
+    def test_nesting_restores_outer(self, tmp_path):
+        outer = RunRecorder(tmp_path / "outer")
+        inner = RunRecorder(tmp_path / "inner")
+        with use_recorder(outer):
+            with use_recorder(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+        outer.close()
+        inner.close()

@@ -1,0 +1,109 @@
+"""Schema validation of run logs (the contract tools/ci.sh enforces)."""
+
+import json
+
+from repro.obs import validate_event, validate_run_dir
+from repro.obs.schema import EVENT_SCHEMA
+
+
+def envelope(kind, **fields):
+    return {"seq": 0, "ts": 1.0, "kind": kind, **fields}
+
+
+class TestValidateEvent:
+    def test_valid_events_for_every_kind(self):
+        samples = {
+            "step": envelope("step", epoch=0, step=1, loss=0.5, grad_norm=1.0),
+            "epoch": envelope("epoch", epoch=0, train_loss=0.5, validation_loss=0.6, grad_norm=1.0),
+            "early_stop": envelope("early_stop", epoch=3, patience=2),
+            "d_step": envelope(
+                "d_step", epoch=0, step=0, loss=0.1, real_prob=0.6, fake_prob=0.4, grad_norm=1.0
+            ),
+            "p_step": envelope(
+                "p_step",
+                epoch=0,
+                step=0,
+                loss=1.0,
+                mse_loss=0.5,
+                adv_loss=0.5,
+                adv_share=0.5,
+                grad_norm=1.0,
+                fake_std=0.2,
+            ),
+            "adv_epoch": envelope(
+                "adv_epoch",
+                epoch=0,
+                predictor_loss=1.0,
+                mse_loss=0.5,
+                adversarial_loss=0.5,
+                discriminator_loss=1.3,
+                discriminator_real_prob=0.6,
+                discriminator_fake_prob=0.4,
+                predictor_grad_norm=1.0,
+                discriminator_grad_norm=1.0,
+            ),
+            "model_fit": envelope("model_fit", name="APOTS_H"),
+            "warning": envelope("warning", code="d_saturation", message="D won"),
+        }
+        assert set(samples) == set(EVENT_SCHEMA)
+        for kind, event in samples.items():
+            assert validate_event(event) == [], kind
+
+    def test_missing_envelope(self):
+        errors = validate_event({"kind": "model_fit", "name": "x"})
+        assert any("seq" in e for e in errors) and any("ts" in e for e in errors)
+
+    def test_unknown_kind(self):
+        assert validate_event(envelope("mystery")) == ["unknown event kind 'mystery'"]
+
+    def test_missing_required_field(self):
+        errors = validate_event(envelope("warning", code="x"))
+        assert errors == ["warning: field 'message' missing or not str"]
+
+    def test_bool_is_not_numeric(self):
+        errors = validate_event(envelope("step", epoch=0, step=1, loss=True, grad_norm=1.0))
+        assert any("loss" in e for e in errors)
+
+    def test_nan_loss_is_valid(self):
+        event = envelope("step", epoch=0, step=1, loss=float("nan"), grad_norm=1.0)
+        assert validate_event(event) == []
+
+
+class TestValidateRunDir:
+    def write_run(self, tmp_path, manifest=None, lines=()):
+        if manifest is not None:
+            (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        (tmp_path / "events.jsonl").write_text("\n".join(lines) + "\n" if lines else "")
+        return tmp_path
+
+    def good_manifest(self):
+        return {"run_id": "r", "started_at": 0.0, "git": None, "python": "3", "numpy": "1"}
+
+    def test_valid_run(self, tmp_path):
+        self.write_run(
+            tmp_path,
+            manifest=self.good_manifest(),
+            lines=[json.dumps(envelope("model_fit", name="x"))],
+        )
+        assert validate_run_dir(tmp_path) == []
+
+    def test_missing_files(self, tmp_path):
+        errors = validate_run_dir(tmp_path)
+        assert "manifest.json missing" in errors and "events.jsonl missing" in errors
+
+    def test_manifest_missing_field(self, tmp_path):
+        manifest = self.good_manifest()
+        del manifest["run_id"]
+        self.write_run(tmp_path, manifest=manifest)
+        assert any("run_id" in e for e in validate_run_dir(tmp_path))
+
+    def test_bad_json_line_located(self, tmp_path):
+        self.write_run(tmp_path, manifest=self.good_manifest(), lines=["{not json"])
+        errors = validate_run_dir(tmp_path)
+        assert any(e.startswith("events.jsonl:1:") for e in errors)
+
+    def test_non_monotonic_seq(self, tmp_path):
+        first = json.dumps({**envelope("model_fit", name="a"), "seq": 5})
+        second = json.dumps({**envelope("model_fit", name="b"), "seq": 5})
+        self.write_run(tmp_path, manifest=self.good_manifest(), lines=[first, second])
+        assert any("not monotonic" in e for e in validate_run_dir(tmp_path))

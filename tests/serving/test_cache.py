@@ -73,6 +73,31 @@ class TestLRU:
         assert len(cache) == 3
 
 
+class TestExpiredEntriesInSize:
+    def test_len_sweeps_expired(self, cache, fake_clock):
+        """A stalled stream (no gets) must not report a full cache forever."""
+        for key in "abc":
+            cache.put(key, key)
+        assert len(cache) == 3
+        fake_clock.advance(11)  # past the 10s TTL, nobody calls get()
+        assert len(cache) == 0
+        assert cache.ttl_evictions == 3
+
+    def test_stats_size_sweeps_expired(self, cache, fake_clock):
+        cache.put("a", 1)
+        fake_clock.advance(11)
+        cache.put("b", 2)  # fresh entry alongside the expired one
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["ttl_evictions"] == 1
+
+    def test_sweep_does_not_count_misses_or_hits(self, cache, fake_clock):
+        cache.put("a", 1)
+        fake_clock.advance(11)
+        cache.stats()
+        assert cache.hits == 0 and cache.misses == 0
+
+
 class TestStats:
     def test_hit_rate(self, cache):
         cache.put("k", 1)

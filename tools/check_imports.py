@@ -10,6 +10,9 @@ serving path deployable without dragging the offline experiment harness
 * ``repro.serving``  must not import ``repro.experiments`` or ``repro.baselines``
 * ``repro.data``     must not import ``repro.core``, ``repro.serving`` or ``repro.experiments``
 * ``repro.nn``       must not import anything above it (only numpy/stdlib)
+* ``repro.obs``      must not import anything above ``repro.nn`` — every
+  layer instruments itself with obs, so obs depending on a higher layer
+  would be a cycle
 
 Run directly or via ``tools/ci.sh``::
 
@@ -29,6 +32,15 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     "repro.serving": ("repro.experiments", "repro.baselines"),
     "repro.data": ("repro.core", "repro.serving", "repro.experiments"),
     "repro.nn": (
+        "repro.core",
+        "repro.data",
+        "repro.serving",
+        "repro.experiments",
+        "repro.traffic",
+        "repro.baselines",
+        "repro.obs",
+    ),
+    "repro.obs": (
         "repro.core",
         "repro.data",
         "repro.serving",

@@ -5,4 +5,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 python tools/check_imports.py
+PYTHONPATH=src python tools/obs_smoke.py
 PYTHONPATH=src python -m pytest -x -q "$@"

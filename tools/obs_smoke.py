@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""CI smoke check for the observability layer (run by ``tools/ci.sh``).
+
+Runs a real 2-epoch adversarial training at micro scale with a
+:class:`repro.obs.RunRecorder` attached (the programmatic equivalent of
+``python -m repro.experiments ... --obs-dir DIR``), then validates the
+emitted run directory against :mod:`repro.obs.schema` and asserts the
+per-epoch events carry the GAN-health signals (P/D losses, D real/fake
+probabilities, P/D gradient norms).  Fails loudly if the trainers ever
+drift from the documented event schema.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_smoke.py [--obs-dir DIR]
+
+Without ``--obs-dir`` the run log is written to a temporary directory
+and discarded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import APOTSTrainer, Discriminator, TrainSpec, build_predictor, table1_spec  # noqa: E402
+from repro.data import FeatureConfig, TrafficDataset  # noqa: E402
+from repro.obs import RunRecorder, validate_run_dir  # noqa: E402
+from repro.traffic import SimulationConfig, simulate  # noqa: E402
+
+#: Per-epoch event fields the acceptance criteria pin.
+EPOCH_SIGNALS = (
+    "predictor_loss",
+    "discriminator_loss",
+    "discriminator_real_prob",
+    "discriminator_fake_prob",
+    "predictor_grad_norm",
+    "discriminator_grad_norm",
+)
+
+
+def run_smoke(obs_dir: Path) -> list[str]:
+    """Train 2 epochs with a recorder; returns all validation errors."""
+    series = simulate(SimulationConfig(num_days=6, seed=7))
+    dataset = TrafficDataset(series, FeatureConfig(), seed=7)
+    rng = np.random.default_rng(7)
+    predictor = build_predictor("F", dataset.config, spec=table1_spec("F", 0.05), rng=rng)
+    discriminator = Discriminator(dataset.config, spec=table1_spec("F", 0.05), rng=rng)
+    spec = TrainSpec(epochs=2, adversarial_batch_size=8, max_steps_per_epoch=4, seed=7)
+
+    with RunRecorder(obs_dir, manifest={"experiment": "obs_smoke"}) as recorder:
+        APOTSTrainer(predictor, discriminator, spec).fit(dataset, recorder=recorder)
+
+    errors = validate_run_dir(obs_dir)
+
+    epochs = []
+    with (obs_dir / "events.jsonl").open(encoding="utf-8") as handle:
+        for line in handle:
+            event = json.loads(line)
+            if event.get("kind") == "adv_epoch":
+                epochs.append(event)
+    if len(epochs) != spec.epochs:
+        errors.append(f"expected {spec.epochs} adv_epoch events, found {len(epochs)}")
+    for event in epochs:
+        for signal in EPOCH_SIGNALS:
+            value = event.get(signal)
+            if not isinstance(value, (int, float)) or not np.isfinite(value):
+                errors.append(
+                    f"adv_epoch {event.get('epoch')}: signal {signal!r} not finite ({value!r})"
+                )
+
+    manifest = json.loads((obs_dir / "manifest.json").read_text(encoding="utf-8"))
+    for field in ("train_spec", "seed", "finished_at", "sections"):
+        if field not in manifest:
+            errors.append(f"manifest.json: missing post-run field {field!r}")
+    for section in ("d_step", "p_step"):
+        if section not in manifest.get("sections", {}):
+            errors.append(f"manifest.json: section timings missing {section!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--obs-dir", default=None, help="keep the run log here (default: tmp)")
+    args = parser.parse_args(argv)
+    if args.obs_dir is not None:
+        errors = run_smoke(Path(args.obs_dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+            errors = run_smoke(Path(tmp) / "run")
+    if errors:
+        print("obs_smoke: FAILED")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("obs_smoke: OK (2-epoch adversarial run log validates against repro.obs.schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
