@@ -1,0 +1,109 @@
+"""Attack-layer benchmark: PGD step throughput and harness wall-time.
+
+Attacks a trained F predictor on a synthetic corridor and reports
+
+* raw PGD throughput — attack-steps per second over a fixed batch of
+  windows (each step is one input-gradient pass plus a projection); and
+* the full robustness harness — clean + attacked evaluation across a
+  three-point epsilon sweep, the shape the ``robustness`` experiment
+  runs per attack.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import APOTS, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.attacks import EvalSlice, PGDAttack, PlausibilityBox, evaluate_robustness
+
+from conftest import BENCH_SEED, report, run_once
+
+#: Windows attacked per PGD call (one input-gradient pass covers all).
+BATCH_WINDOWS = 64
+PGD_STEPS = 20
+#: Samples swept by the harness benchmark.
+HARNESS_SAMPLES = 64
+EPSILONS_KMH = (2.5, 5.0, 10.0)
+
+
+def make_victim(bench_preset):
+    series = simulate(SimulationConfig(num_days=8, seed=BENCH_SEED))
+    dataset = TrafficDataset(series, FeatureConfig(alpha=12, beta=1, m=2), seed=0)
+    model = APOTS(predictor="F", adversarial=False, preset=bench_preset, seed=0)
+    model.fit(dataset)
+    return model, dataset
+
+
+def make_slice(dataset, num_samples: int) -> EvalSlice:
+    indices = dataset.subset("test")[:num_samples]
+    batch = dataset.batch(indices)
+    return EvalSlice(
+        images=batch.images,
+        day_types=batch.day_types,
+        targets_scaled=batch.targets,
+        targets_kmh=dataset.features.targets_kmh[indices],
+        last_input_kmh=dataset.features.last_input_kmh[indices],
+    )
+
+
+def test_bench_pgd_steps(benchmark, bench_preset):
+    model, dataset = make_victim(bench_preset)
+    eval_slice = make_slice(dataset, BATCH_WINDOWS)
+    box = PlausibilityBox(epsilon_kmh=5.0)
+    attack = PGDAttack(model.predictor, model.scalers, box, steps=PGD_STEPS, seed=0)
+
+    def run() -> dict:
+        start = time.perf_counter()
+        result = attack.perturb(
+            np.array(eval_slice.images),
+            eval_slice.day_types,
+            eval_slice.targets_scaled,
+        )
+        seconds = time.perf_counter() - start
+        return {
+            "steps_per_s": PGD_STEPS / seconds,
+            "window_steps_per_s": PGD_STEPS * eval_slice.images.shape[0] / seconds,
+            "max_abs_delta_kmh": result.max_abs_delta_kmh,
+            "seconds": seconds,
+        }
+
+    result = run_once(benchmark, run)
+    report(
+        "## Attacks: PGD throughput "
+        f"({eval_slice.images.shape[0]} windows x {PGD_STEPS} steps)\n"
+        f"attack steps : {result['steps_per_s']:10.1f} steps/s "
+        f"({result['window_steps_per_s']:.0f} window-steps/s)\n"
+        f"wall time    : {result['seconds']:10.2f} s\n"
+        f"max |delta|  : {result['max_abs_delta_kmh']:10.2f} km/h (budget 5.00)"
+    )
+    assert result["max_abs_delta_kmh"] <= 5.0 + 1e-9
+
+
+def test_bench_harness_sweep(benchmark, bench_preset):
+    model, dataset = make_victim(bench_preset)
+    eval_slice = make_slice(dataset, HARNESS_SAMPLES)
+
+    def run() -> dict:
+        start = time.perf_counter()
+        sweep = evaluate_robustness(
+            model.predictor, model.scalers, eval_slice,
+            attack_name="pgd", epsilons_kmh=EPSILONS_KMH, seed=0,
+        )
+        return {"seconds": time.perf_counter() - start, "report": sweep}
+
+    result = run_once(benchmark, run)
+    sweep = result["report"]
+    points = "\n".join(
+        f"eps {point.epsilon_kmh:5.1f} km/h : MAE {point.clean['whole']['mae']:.3f} "
+        f"-> {point.attacked['whole']['mae']:.3f} (+{point.degradation():.3f})"
+        for point in sweep.results
+    )
+    report(
+        "## Attacks: robustness harness wall-time "
+        f"({HARNESS_SAMPLES} samples x {len(EPSILONS_KMH)} epsilons, pgd)\n"
+        f"wall time : {result['seconds']:10.2f} s\n" + points
+    )
+    for point in sweep.results:
+        assert point.attacked["whole"]["mae"] > point.clean["whole"]["mae"]

@@ -1,0 +1,90 @@
+"""Adversarial robustness: attack a checkpointed model, then gate it.
+
+Trains a small APOTS model on simulated corridor traffic, saves it with
+the zoo (format v2, scalers included), reloads the checkpoint the way a
+red team would receive it, and attacks the held-out test windows with a
+physically plausible PGD perturbation at three epsilon budgets —
+printing the clean-vs-attacked error table per traffic regime.  A
+black-box SPSA run at the middle epsilon shows what an attacker without
+weights still achieves through the predict callable alone.
+
+Run with::
+
+    python examples/robustness_eval.py [preset]
+
+where ``preset`` is ``smoke`` (default), ``medium`` or ``paper``.
+"""
+
+import sys
+import tempfile
+
+from repro import APOTS, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.attacks import EvalSlice, evaluate_robustness
+from repro.core import load_model, save_model
+
+EPSILONS_KMH = (2.5, 5.0, 10.0)
+MAX_SAMPLES = 96
+
+
+def test_slice(dataset, max_samples: int) -> EvalSlice:
+    """The held-out windows in the harness's array form."""
+    indices = dataset.subset("test")[:max_samples]
+    batch = dataset.batch(indices)
+    return EvalSlice(
+        images=batch.images,
+        day_types=batch.day_types,
+        targets_scaled=batch.targets,
+        targets_kmh=dataset.features.targets_kmh[indices],
+        last_input_kmh=dataset.features.last_input_kmh[indices],
+    )
+
+
+def main(preset: str = "smoke") -> None:
+    # 1. Train a victim and write a zoo checkpoint.
+    print("simulating corridor traffic ...")
+    series = simulate(SimulationConfig(num_days=8, seed=2018))
+    dataset = TrafficDataset(series, FeatureConfig(alpha=12, beta=1, m=2), seed=0)
+    print(f"training APOTS predictor at preset={preset!r} ...")
+    model = APOTS(predictor="H", adversarial=True, preset=preset, seed=0)
+    model.fit(dataset)
+
+    # 2. Reload from the checkpoint alone — the attacker's view of a
+    #    deployed model (weights + the fitted scalers in the manifest).
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        save_model(model, checkpoint_dir)
+        victim = load_model(checkpoint_dir)
+
+    eval_slice = test_slice(dataset, MAX_SAMPLES)
+    print(f"attacking {eval_slice.images.shape[0]} held-out windows ...\n")
+
+    # 3. White-box PGD sweep: full-gradient attacker, plausibility box
+    #    (speeds stay in [0, 130] km/h, rate-of-change bounded).
+    report = evaluate_robustness(
+        victim.predictor, victim.scalers, eval_slice,
+        attack_name="pgd", epsilons_kmh=EPSILONS_KMH,
+        model_name=victim.name, seed=0,
+    )
+    print(report.render())
+
+    # 4. Black-box SPSA at the middle epsilon: no weights, no gradients,
+    #    only the predict callable a serving endpoint exposes.
+    spsa = evaluate_robustness(
+        victim.predictor, victim.scalers, eval_slice,
+        attack_name="spsa", epsilons_kmh=EPSILONS_KMH[1:2],
+        model_name=victim.name, seed=0,
+    )
+    print()
+    print(spsa.render())
+
+    white = report.results[1]
+    black = spsa.results[0]
+    print(
+        f"\nat eps={white.epsilon_kmh:.1f} km/h: white-box PGD costs "
+        f"+{white.degradation():.3f} km/h MAE, black-box SPSA "
+        f"+{black.degradation():.3f} km/h — gradient access matters, but a "
+        "query-only attacker still degrades the forecast."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "smoke")

@@ -1,0 +1,57 @@
+"""Adversarial robustness: input-space attacks, evaluation, defense.
+
+APOTS trains adversarially but the follow-up literature asks the
+converse question — how fragile is the trained forecaster to small,
+physically plausible perturbations of its *inputs*?  This package
+answers it end to end:
+
+* :mod:`~repro.attacks.gradients` — ``d loss / d input`` through the
+  autograd substrate;
+* :mod:`~repro.attacks.whitebox` — FGSM and PGD over speed windows;
+* :mod:`~repro.attacks.blackbox` — SPSA and random noise against any
+  predict-style callable (including a live service);
+* :mod:`~repro.attacks.constraints` — the plausibility box every attack
+  projects onto (speed range + rate-of-change stealthiness);
+* :mod:`~repro.attacks.harness` / :mod:`~repro.attacks.report` —
+  epsilon sweeps and per-regime clean-vs-attacked reports;
+* :mod:`~repro.attacks.defense` — the serving-side
+  :class:`PerturbationGate` (the only module ``repro.serving`` may
+  import from here).
+
+Layering: may import ``nn`` / ``core`` / ``metrics`` / ``obs``; never
+``data`` / ``traffic`` / ``serving`` / ``experiments``.
+"""
+
+from .base import Attack, AttackResult, flatten_windows, speed_rows_kmh, with_speed_rows
+from .blackbox import RandomNoiseAttack, SPSAAttack
+from .constraints import MAX_PLAUSIBLE_SPEED_KMH, PlausibilityBox
+from .defense import GateConfig, GateDecision, PerturbationGate
+from .gradients import InputGradient, input_gradient
+from .harness import ATTACK_NAMES, EvalSlice, build_attack, evaluate_robustness
+from .report import EpsilonResult, RobustnessReport
+from .whitebox import FGSMAttack, PGDAttack
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "flatten_windows",
+    "speed_rows_kmh",
+    "with_speed_rows",
+    "RandomNoiseAttack",
+    "SPSAAttack",
+    "MAX_PLAUSIBLE_SPEED_KMH",
+    "PlausibilityBox",
+    "GateConfig",
+    "GateDecision",
+    "PerturbationGate",
+    "InputGradient",
+    "input_gradient",
+    "ATTACK_NAMES",
+    "EvalSlice",
+    "build_attack",
+    "evaluate_robustness",
+    "EpsilonResult",
+    "RobustnessReport",
+    "FGSMAttack",
+    "PGDAttack",
+]

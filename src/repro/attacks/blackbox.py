@@ -1,0 +1,118 @@
+"""Black-box attacks: SPSA gradient estimation and a random-noise floor.
+
+Neither attack touches autograd — they only need a *predict-style
+callable* ``predict_fn(images, day_types, flat) -> (B,) scaled
+predictions``.  ``Predictor.predict`` has that signature, and so does a
+live ``ForecastService``'s internal forward, so the same attacker works
+against a checkpoint on disk or a deployed service it can only query.
+
+SPSA (Spall; used against traffic predictors by Poudel & Li, PAPERS.md)
+estimates the loss gradient from paired queries along random Rademacher
+directions:
+
+    ghat = (L(x + c*d) - L(x - c*d)) / (2c) * d
+
+averaged over a handful of probes, then ascends its sign exactly like
+PGD.  The random-noise attack is the sanity floor: any estimator worth
+its queries must beat uniformly sampled plausible perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Attack, AttackResult, flatten_windows, speed_rows_kmh, with_speed_rows
+from .constraints import PlausibilityBox
+
+__all__ = ["SPSAAttack", "RandomNoiseAttack"]
+
+
+def _per_sample_loss(predict_fn, images, day_types, targets) -> np.ndarray:
+    """Squared forecast error per sample, shape (B,)."""
+    predictions = np.asarray(predict_fn(images, day_types, flatten_windows(images, day_types)))
+    return (predictions.reshape(-1) - np.asarray(targets).reshape(-1)) ** 2
+
+
+class SPSAAttack(Attack):
+    """Simultaneous-perturbation gradient estimation + sign ascent."""
+
+    name = "spsa"
+
+    def __init__(self, predict_fn, scalers, num_roads: int, constraint: PlausibilityBox,
+                 steps: int = 8, samples: int = 8, probe_kmh: float = 1.0,
+                 step_kmh: float | None = None, seed: int = 0):
+        super().__init__(scalers, num_roads, constraint)
+        if steps < 1 or samples < 1:
+            raise ValueError("steps and samples must be >= 1")
+        if probe_kmh <= 0:
+            raise ValueError("probe_kmh must be positive")
+        self.predict_fn = predict_fn
+        self.steps = steps
+        self.samples = samples
+        self.probe_kmh = probe_kmh
+        self.step_kmh = step_kmh if step_kmh is not None else 2.5 * constraint.epsilon_kmh / steps
+        self.seed = seed
+
+    def perturb(self, images, day_types, targets, recorder=None) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        reference = speed_rows_kmh(images, self.scalers, self.num_roads)
+        rng = np.random.default_rng(self.seed)
+        attacked = reference.copy()
+        losses: list[float] = []
+        for step in range(self.steps):
+            ghat = np.zeros_like(attacked)
+            for _ in range(self.samples):
+                direction = rng.choice([-1.0, 1.0], size=attacked.shape)
+                plus = with_speed_rows(images, attacked + self.probe_kmh * direction,
+                                       self.scalers, self.num_roads)
+                minus = with_speed_rows(images, attacked - self.probe_kmh * direction,
+                                        self.scalers, self.num_roads)
+                loss_plus = _per_sample_loss(self.predict_fn, plus, day_types, targets)
+                loss_minus = _per_sample_loss(self.predict_fn, minus, day_types, targets)
+                slope = (loss_plus - loss_minus) / (2.0 * self.probe_kmh)
+                ghat += slope[:, None, None] * direction
+            attacked = attacked + self.step_kmh * np.sign(ghat)
+            attacked = self.constraint.project(attacked, reference)
+            adv_images = with_speed_rows(images, attacked, self.scalers, self.num_roads)
+            loss = float(_per_sample_loss(self.predict_fn, adv_images, day_types, targets).sum())
+            losses.append(loss)
+            self._record(recorder, step, loss)
+        adv_images = with_speed_rows(images, attacked, self.scalers, self.num_roads)
+        return AttackResult(adv_images, attacked, reference, losses)
+
+
+class RandomNoiseAttack(Attack):
+    """Best-of-k uniform noise inside the plausibility box (query baseline)."""
+
+    name = "random"
+
+    def __init__(self, predict_fn, scalers, num_roads: int, constraint: PlausibilityBox,
+                 tries: int = 8, seed: int = 0):
+        super().__init__(scalers, num_roads, constraint)
+        if tries < 1:
+            raise ValueError("tries must be >= 1")
+        self.predict_fn = predict_fn
+        self.tries = tries
+        self.seed = seed
+
+    def perturb(self, images, day_types, targets, recorder=None) -> AttackResult:
+        images = np.asarray(images, dtype=np.float64)
+        reference = speed_rows_kmh(images, self.scalers, self.num_roads)
+        rng = np.random.default_rng(self.seed)
+        best = reference.copy()
+        best_loss = _per_sample_loss(self.predict_fn, images, day_types, targets)
+        losses: list[float] = []
+        for step in range(self.tries):
+            noise = rng.uniform(-self.constraint.epsilon_kmh,
+                                self.constraint.epsilon_kmh, size=reference.shape)
+            candidate = self.constraint.project(reference + noise, reference)
+            adv_images = with_speed_rows(images, candidate, self.scalers, self.num_roads)
+            loss = _per_sample_loss(self.predict_fn, adv_images, day_types, targets)
+            improved = loss > best_loss
+            best[improved] = candidate[improved]
+            best_loss = np.maximum(best_loss, loss)
+            total = float(best_loss.sum())
+            losses.append(total)
+            self._record(recorder, step, total)
+        adv_images = with_speed_rows(images, best, self.scalers, self.num_roads)
+        return AttackResult(adv_images, best, reference, losses)

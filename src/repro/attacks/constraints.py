@@ -1,0 +1,94 @@
+"""Physical-plausibility constraints on perturbed speed windows.
+
+An input-space attacker who can report arbitrary speeds is trivially
+detectable; the threat model that matters for a production forecast
+service (Liu et al., Poudel & Li — see PAPERS.md) is an adversary whose
+perturbed feed still *looks like traffic*.  :class:`PlausibilityBox`
+encodes that feasible set, in the spirit of SA-Attack's stealthiness
+constraints:
+
+* an L-infinity budget ``epsilon_kmh`` around the truly observed speeds
+  (small absolute perturbations per reading);
+* absolute speed bounds — nothing below 0 or above 130 km/h, the
+  expressway ceiling, survives even a cursory range check;
+* a rate-of-change bound ``max_step_kmh`` on how fast the *perturbation*
+  may grow or shrink between consecutive ticks, so the injected series
+  keeps the corridor's temporal smoothness instead of adding
+  high-frequency noise a jump detector would flag instantly.
+
+Every attack step is projected back onto this set, so whatever the
+optimiser proposes, the emitted windows stay physically plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlausibilityBox", "MAX_PLAUSIBLE_SPEED_KMH"]
+
+#: Hard ceiling for any plausible expressway reading (km/h).
+MAX_PLAUSIBLE_SPEED_KMH = 130.0
+
+
+@dataclass(frozen=True)
+class PlausibilityBox:
+    """The feasible set of perturbed speed windows around a reference.
+
+    Parameters
+    ----------
+    epsilon_kmh:
+        L-infinity perturbation budget per reading, in km/h.
+    min_speed_kmh, max_speed_kmh:
+        Absolute bounds any emitted speed must respect.
+    max_step_kmh:
+        Bound on ``|delta[t] - delta[t-1]|`` along the time (last) axis
+        of the perturbation ``delta``; ``None`` disables the smoothness
+        constraint (a noisier but stronger attacker).
+    """
+
+    epsilon_kmh: float
+    min_speed_kmh: float = 0.0
+    max_speed_kmh: float = MAX_PLAUSIBLE_SPEED_KMH
+    max_step_kmh: float | None = 10.0
+
+    def __post_init__(self):
+        if self.epsilon_kmh < 0:
+            raise ValueError("epsilon_kmh must be non-negative")
+        if self.max_speed_kmh <= self.min_speed_kmh:
+            raise ValueError("max_speed_kmh must exceed min_speed_kmh")
+        if self.max_step_kmh is not None and self.max_step_kmh <= 0:
+            raise ValueError("max_step_kmh must be positive (or None)")
+
+    def project(self, speeds_kmh: np.ndarray, reference_kmh: np.ndarray) -> np.ndarray:
+        """Project perturbed speeds onto the feasible set around a reference.
+
+        ``reference_kmh`` is the truly observed window; time is the last
+        axis.  Returns a new array; inputs are not modified.
+        """
+        reference = np.asarray(reference_kmh, dtype=np.float64)
+        delta = np.asarray(speeds_kmh, dtype=np.float64) - reference
+        lo = np.maximum(-self.epsilon_kmh, self.min_speed_kmh - reference)
+        hi = np.minimum(self.epsilon_kmh, self.max_speed_kmh - reference)
+        # If the reference itself leaves the speed box the bounds can
+        # cross; collapse to the nearest feasible point instead of
+        # producing an inverted interval.
+        lo = np.minimum(lo, hi)
+        delta = np.clip(delta, lo, hi)
+        if self.max_step_kmh is not None:
+            # One forward pass: each tick's perturbation may move at most
+            # max_step_kmh away from the previous tick's, within the box.
+            step = self.max_step_kmh
+            for t in range(1, delta.shape[-1]):
+                previous = delta[..., t - 1]
+                step_lo = np.maximum(lo[..., t], previous - step)
+                step_hi = np.minimum(hi[..., t], previous + step)
+                step_lo = np.minimum(step_lo, step_hi)
+                delta[..., t] = np.clip(delta[..., t], step_lo, step_hi)
+        return reference + delta
+
+    def contains(self, speeds_kmh: np.ndarray, reference_kmh: np.ndarray, tol: float = 1e-9) -> bool:
+        """Whether ``speeds_kmh`` already lies inside the feasible set."""
+        projected = self.project(speeds_kmh, reference_kmh)
+        return bool(np.all(np.abs(projected - np.asarray(speeds_kmh, dtype=np.float64)) <= tol))

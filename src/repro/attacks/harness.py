@@ -1,0 +1,158 @@
+"""Robustness evaluation harness: epsilon sweeps over an eval slice.
+
+The harness is deliberately array-in / report-out: it takes the scaled
+window arrays a caller already extracted from its dataset (plus the
+km/h arrays the regime metrics need) and never imports ``repro.data``
+or ``repro.serving`` — the attacks layer sits beside ``core`` and below
+both (see ``tools/check_imports.py``).  ``repro.experiments.robustness``
+does the dataset plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.errors import all_errors
+from ..metrics.regimes import classify_regimes
+from .base import Attack, flatten_windows
+from .blackbox import RandomNoiseAttack, SPSAAttack
+from .constraints import PlausibilityBox
+from .report import EpsilonResult, RobustnessReport
+from .whitebox import FGSMAttack, PGDAttack
+
+__all__ = ["ATTACK_NAMES", "EvalSlice", "build_attack", "evaluate_robustness"]
+
+#: Attack ids accepted by :func:`build_attack` and the robustness CLI.
+ATTACK_NAMES = ("fgsm", "pgd", "spsa", "random")
+
+
+@dataclass(frozen=True)
+class EvalSlice:
+    """The arrays one robustness sweep evaluates over.
+
+    ``images`` / ``day_types`` / ``targets_scaled`` are exactly what the
+    predictor consumes; ``targets_kmh`` / ``last_input_kmh`` feed the
+    regime classification (``dataset.evaluation_arrays``).
+    """
+
+    images: np.ndarray
+    day_types: np.ndarray
+    targets_scaled: np.ndarray
+    targets_kmh: np.ndarray
+    last_input_kmh: np.ndarray
+
+    def __post_init__(self):
+        n = self.images.shape[0]
+        for name in ("day_types", "targets_scaled", "targets_kmh", "last_input_kmh"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} is not aligned with images ({n} samples)")
+        if n == 0:
+            raise ValueError("cannot evaluate robustness over zero samples")
+
+    def take(self, max_samples: int | None) -> "EvalSlice":
+        """The first ``max_samples`` samples (all when None)."""
+        if max_samples is None or max_samples >= self.images.shape[0]:
+            return self
+        sl = slice(0, max_samples)
+        return EvalSlice(self.images[sl], self.day_types[sl], self.targets_scaled[sl],
+                         self.targets_kmh[sl], self.last_input_kmh[sl])
+
+
+def build_attack(name: str, predictor, scalers, constraint: PlausibilityBox,
+                 seed: int = 0, **kwargs) -> Attack:
+    """Construct an attack by id against a predictor + its scalers.
+
+    Black-box attacks get only ``predictor.predict`` — they treat the
+    model as a query oracle, as they would a remote service.
+    """
+    num_roads = predictor.features.num_roads
+    if name == "fgsm":
+        return FGSMAttack(predictor, scalers, constraint, **kwargs)
+    if name == "pgd":
+        return PGDAttack(predictor, scalers, constraint, seed=seed, **kwargs)
+    if name == "spsa":
+        return SPSAAttack(predictor.predict, scalers, num_roads, constraint,
+                          seed=seed, **kwargs)
+    if name == "random":
+        return RandomNoiseAttack(predictor.predict, scalers, num_roads, constraint,
+                                 seed=seed, **kwargs)
+    raise ValueError(f"unknown attack {name!r}; have {ATTACK_NAMES}")
+
+
+def evaluate_robustness(
+    predictor,
+    scalers,
+    eval_slice: EvalSlice,
+    attack_name: str = "pgd",
+    epsilons_kmh: Sequence[float] = (1.0, 2.5, 5.0),
+    max_step_kmh: float | None = 10.0,
+    model_name: str | None = None,
+    recorder=None,
+    seed: int = 0,
+    **attack_kwargs,
+) -> RobustnessReport:
+    """Sweep an epsilon grid and report clean-vs-attacked errors.
+
+    Clean errors are computed once; each epsilon re-runs the attack
+    under a fresh :class:`PlausibilityBox`.  With a ``recorder`` the
+    sweep emits per-step ``attack_step`` events and one
+    ``robustness_summary`` event per grid point.
+    """
+    images = np.asarray(eval_slice.images, dtype=np.float64)
+    day_types = np.asarray(eval_slice.day_types, dtype=np.float64)
+    flat = flatten_windows(images, day_types)
+    clean_scaled = predictor.predict(images, day_types, flat)
+    clean_kmh = scalers.speed.inverse_transform(clean_scaled)
+    masks = classify_regimes(eval_slice.last_input_kmh, eval_slice.targets_kmh)
+    clean_by_regime = _errors_by_regime(clean_kmh, eval_slice.targets_kmh, masks)
+
+    results: list[EpsilonResult] = []
+    for epsilon in epsilons_kmh:
+        constraint = PlausibilityBox(epsilon_kmh=float(epsilon), max_step_kmh=max_step_kmh)
+        attack = build_attack(attack_name, predictor, scalers, constraint,
+                              seed=seed, **attack_kwargs)
+        attacked = attack.perturb(images, day_types, eval_slice.targets_scaled,
+                                  recorder=recorder)
+        adv_flat = flatten_windows(attacked.images, day_types)
+        adv_scaled = predictor.predict(attacked.images, day_types, adv_flat)
+        adv_kmh = scalers.speed.inverse_transform(adv_scaled)
+        adv_by_regime = _errors_by_regime(adv_kmh, eval_slice.targets_kmh, masks)
+        result = EpsilonResult(
+            attack=attack.name,
+            epsilon_kmh=float(epsilon),
+            num_samples=int(images.shape[0]),
+            max_abs_delta_kmh=attacked.max_abs_delta_kmh,
+            clean=clean_by_regime,
+            attacked=adv_by_regime,
+            regime_counts=masks.counts(),
+        )
+        results.append(result)
+        if recorder is not None:
+            recorder.event(
+                "robustness_summary",
+                attack=attack.name,
+                epsilon=float(epsilon),
+                num_samples=result.num_samples,
+                clean_mae=result.clean["whole"]["mae"],
+                attacked_mae=result.attacked["whole"]["mae"],
+                clean_rmse=result.clean["whole"]["rmse"],
+                attacked_rmse=result.attacked["whole"]["rmse"],
+                clean_mape=result.clean["whole"]["mape"],
+                attacked_mape=result.attacked["whole"]["mape"],
+            )
+    name = model_name if model_name is not None else getattr(predictor, "kind", "model")
+    return RobustnessReport(model=name, results=results)
+
+
+def _errors_by_regime(predictions_kmh, targets_kmh, masks) -> dict[str, dict[str, float]]:
+    # Same convention as APOTS.evaluate: NaN cells for empty regimes.
+    by_regime: dict[str, dict[str, float]] = {}
+    for regime, mask in masks.as_dict().items():
+        if mask.sum() == 0:
+            by_regime[regime] = {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
+        else:
+            by_regime[regime] = all_errors(predictions_kmh[mask], targets_kmh[mask])
+    return by_regime

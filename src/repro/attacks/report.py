@@ -1,0 +1,95 @@
+"""Structured robustness results: clean vs attacked errors per regime.
+
+The harness produces one :class:`EpsilonResult` per point of the
+epsilon sweep and wraps them in a :class:`RobustnessReport`, which both
+renders as a terminal table (the experiments CLI calls ``render()``)
+and serialises to plain dicts for run logs and downstream tooling.
+
+Per-regime cells can be NaN when a regime has no samples in the
+evaluated slice (the same convention ``APOTS.evaluate`` uses); the
+renderer prints those as ``-``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["EpsilonResult", "RobustnessReport", "REGIME_ORDER", "METRIC_ORDER"]
+
+REGIME_ORDER = ("whole", "normal", "abrupt_acc", "abrupt_dec")
+METRIC_ORDER = ("mae", "rmse", "mape")
+
+
+@dataclass(frozen=True)
+class EpsilonResult:
+    """Clean-vs-attacked errors for one (attack, epsilon) grid point.
+
+    ``clean`` / ``attacked`` map regime name -> metric name -> value
+    (km/h for mae/rmse, percent for mape; NaN for empty regimes).
+    """
+
+    attack: str
+    epsilon_kmh: float
+    num_samples: int
+    max_abs_delta_kmh: float
+    clean: dict[str, dict[str, float]]
+    attacked: dict[str, dict[str, float]]
+    regime_counts: dict[str, int]
+
+    def degradation(self, metric: str = "mae", regime: str = "whole") -> float:
+        """Attacked minus clean error — how much the attack costs."""
+        return self.attacked[regime][metric] - self.clean[regime][metric]
+
+    def to_dict(self) -> dict:
+        return {
+            "attack": self.attack,
+            "epsilon_kmh": self.epsilon_kmh,
+            "num_samples": self.num_samples,
+            "max_abs_delta_kmh": self.max_abs_delta_kmh,
+            "clean": {r: dict(m) for r, m in self.clean.items()},
+            "attacked": {r: dict(m) for r, m in self.attacked.items()},
+            "regime_counts": dict(self.regime_counts),
+        }
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """An epsilon sweep for one model under one attack family."""
+
+    model: str
+    results: list[EpsilonResult] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"model": self.model, "results": [r.to_dict() for r in self.results]}
+
+    def render(self) -> str:
+        lines = [f"Robustness of {self.model} (errors in km/h; mape in %)", ""]
+        header = (f"{'attack':<8} {'eps':>5} {'regime':<10} {'n':>6} "
+                  f"{'clean mae':>10} {'adv mae':>10} {'clean rmse':>10} "
+                  f"{'adv rmse':>10} {'clean mape':>10} {'adv mape':>10}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for result in self.results:
+            for regime in REGIME_ORDER:
+                clean = result.clean[regime]
+                attacked = result.attacked[regime]
+                lines.append(
+                    f"{result.attack:<8} {result.epsilon_kmh:>5.1f} {regime:<10} "
+                    f"{result.regime_counts.get(regime, 0):>6d} "
+                    f"{_cell(clean['mae'])} {_cell(attacked['mae'])} "
+                    f"{_cell(clean['rmse'])} {_cell(attacked['rmse'])} "
+                    f"{_cell(clean['mape'])} {_cell(attacked['mape'])}"
+                )
+            delta = result.degradation()
+            lines.append(
+                f"{'':8} max |delta| emitted {result.max_abs_delta_kmh:.2f} km/h; "
+                f"whole-set mae degradation {delta:+.3f} km/h"
+            )
+        return "\n".join(lines)
+
+
+def _cell(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return f"{'-':>10}"
+    return f"{value:>10.3f}"

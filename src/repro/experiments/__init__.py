@@ -1,6 +1,6 @@
 """``repro.experiments`` — harness for every table and figure of Section V."""
 
-from . import ablations, fig1, fig4, fig5, fig6, table2, table3
+from . import ablations, fig1, fig4, fig5, fig6, robustness, table2, table3
 from .registry import EXPERIMENTS, run_experiment
 from .scenario import make_dataset, train_model
 

@@ -53,6 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="record a repro.obs run log (manifest + JSONL events) per experiment under DIR",
     )
+    parser.add_argument(
+        "--attack",
+        default="pgd",
+        choices=("fgsm", "pgd", "spsa", "random"),
+        help="attack used by the robustness experiment (default: pgd)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=5.0,
+        metavar="KMH",
+        help="perturbation budget in km/h for the robustness experiment (default: 5)",
+    )
     return parser
 
 
@@ -66,16 +79,18 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
+        # Attack knobs only exist on the robustness runner.
+        extra = {"attack": args.attack, "epsilon": args.epsilon} if name == "robustness" else {}
         if args.obs_dir is not None:
             recorder = RunRecorder(
                 Path(args.obs_dir) / name,
                 manifest={"experiment": name, "preset": args.preset, "cli_seed": args.seed},
             )
             with recorder, use_recorder(recorder):
-                result = run_experiment(name, preset=args.preset, seed=args.seed)
+                result = run_experiment(name, preset=args.preset, seed=args.seed, **extra)
         else:
             recorder = None
-            result = run_experiment(name, preset=args.preset, seed=args.seed)
+            result = run_experiment(name, preset=args.preset, seed=args.seed, **extra)
         elapsed = time.time() - started
         print(result.render())
         if recorder is not None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from . import ablations, fig1, fig4, fig5, fig6, table2, table3
+from . import ablations, fig1, fig4, fig5, fig6, robustness, table2, table3
 
 __all__ = ["EXPERIMENTS", "run_experiment", "Renderable"]
 
@@ -43,16 +43,26 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
         ablations.horizon_ablation,
         "ablation: prediction offset beta (5-60 minutes)",
     ),
+    "robustness": (
+        robustness.run,
+        "adversarial robustness: attack sweep + serving gate drill",
+    ),
 }
 
 
-def run_experiment(name: str, preset: str = "medium", seed: int | None = None) -> Renderable:
-    """Run one experiment by id."""
+def run_experiment(
+    name: str, preset: str = "medium", seed: int | None = None, **kwargs
+) -> Renderable:
+    """Run one experiment by id.
+
+    Extra keyword arguments are forwarded to the runner (the
+    ``robustness`` experiment takes ``attack`` and ``epsilon``).
+    """
     try:
         runner, _ = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}") from None
-    kwargs = {"preset": preset}
+    kwargs = dict(kwargs, preset=preset)
     if seed is not None:
         kwargs["seed"] = seed
     return runner(**kwargs)

@@ -95,6 +95,11 @@ class Tensor:
             array = array.astype(np.float64)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
+        # Inside no_grad() the flag is silently dropped: the leaf will
+        # never record a tape, and backward() would leave .grad = None.
+        # Callers that require input gradients must check
+        # is_grad_enabled() up front (repro.attacks.gradients does) —
+        # by the time the None grad surfaces, the cause is off the stack.
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()

@@ -73,6 +73,19 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     # Harness / monitors -------------------------------------------------
     "model_fit": {"name": _STR},
     "warning": {"code": _STR, "message": _STR},
+    # Adversarial robustness (repro.attacks) -----------------------------
+    "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
+    "robustness_summary": {
+        "attack": _STR,
+        "epsilon": _NUM,
+        "num_samples": _INT,
+        "clean_mae": _NUM,
+        "attacked_mae": _NUM,
+        "clean_rmse": _NUM,
+        "attacked_rmse": _NUM,
+        "clean_mape": _NUM,
+        "attacked_mape": _NUM,
+    },
 }
 
 #: Fields every manifest.json must carry from the moment it is created.

@@ -31,6 +31,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..attacks.defense import PerturbationGate
 from ..core.model import APOTS
 from ..core.zoo import load_model
 from ..data.features import FeatureScalers
@@ -73,6 +74,12 @@ class ForecastService:
         Forecast cache sizing; TTL defaults to one 5-minute tick.
     interval_minutes, store_capacity:
         Stream geometry, forwarded to the state store.
+    gate:
+        An optional :class:`repro.attacks.defense.PerturbationGate`.
+        When set, every ingested observation is screened for physical
+        plausibility; forecasts for quarantined segments degrade to
+        naive persistence of the last *trusted* speed instead of running
+        the model on a possibly poisoned window.
     clock:
         Injectable monotonic clock (tests use a fake one).
     """
@@ -83,6 +90,7 @@ class ForecastService:
         num_segments: int,
         *,
         scalers: FeatureScalers | None = None,
+        gate: PerturbationGate | None = None,
         max_batch_size: int = 64,
         linger_seconds: float = 0.0,
         pad_batches: bool = True,
@@ -100,6 +108,7 @@ class ForecastService:
             )
         self._model = model
         self._scalers = scalers
+        self.gate = gate
         self.telemetry = Telemetry()
         self.store = SegmentStateStore(
             num_segments,
@@ -142,11 +151,26 @@ class ForecastService:
     def ingest(self, observation: Observation) -> None:
         self.store.ingest(observation)
         self.telemetry.counter("observations").inc()
+        self._screen(observation)
 
     def ingest_many(self, observations: Iterable[Observation]) -> int:
+        observations = list(observations)
         count = self.store.ingest_many(observations)
         self.telemetry.counter("observations").inc(count)
+        for observation in observations:
+            self._screen(observation)
         return count
+
+    def _screen(self, observation: Observation) -> None:
+        """Run the perturbation gate (if any) over one accepted reading."""
+        if self.gate is None:
+            return
+        decision = self.gate.screen(
+            observation.segment_id, observation.step, observation.speed_kmh
+        )
+        self.telemetry.counter("gate_checks").inc()
+        if decision.suspect:
+            self.telemetry.counter("gate_hits").inc()
 
     # ------------------------------------------------------------------
     # Prediction
@@ -163,6 +187,37 @@ class ForecastService:
             degraded=True,
             degraded_reason=reason,
         )
+
+    def _gate_quarantined(self, segment_id: int) -> bool:
+        """Whether the gate quarantines this segment's *window*.
+
+        The model's window reads the segment and its ``m`` neighbours on
+        each side, so a poisoned neighbour taints the forecast just as
+        much as a poisoned target.
+        """
+        if self.gate is None:
+            return False
+        m = self._model.features.m
+        return any(
+            self.gate.is_quarantined(neighbour)
+            for neighbour in range(segment_id - m, segment_id + m + 1)
+        )
+
+    def _gate_naive(self, segment_id: int, horizon: int) -> Forecast:
+        """Degrade a quarantined segment, persisting the last trusted speed.
+
+        The store's last observation is exactly the reading the gate
+        flagged, so plain naive persistence would echo the perturbed
+        value; the gate remembers the last speed accepted outside
+        quarantine and we persist that instead when it exists.
+        """
+        self.telemetry.counter("gate_degraded_forecasts").inc()
+        forecast = self._naive(segment_id, horizon, "perturbation gate quarantine")
+        assert self.gate is not None
+        safe = self.gate.safe_speed(segment_id)
+        if safe is not None:
+            forecast = replace(forecast, speed_kmh=safe)
+        return forecast
 
     def _resolve(
         self, segment_id: int, horizon: int, use_cache: bool
@@ -182,6 +237,8 @@ class ForecastService:
                 None,
                 None,
             )
+        if self._gate_quarantined(segment_id):
+            return self._gate_naive(segment_id, horizon), None, None
         try:
             view = self.store.window(segment_id)
         except IncompleteWindowError as exc:
@@ -254,6 +311,9 @@ class ForecastService:
             # batch amortises feature assembly as well as the forward.
             windows = self.store.windows_many(segment_ids)
             for position, (segment_id, view) in enumerate(zip(segment_ids, windows)):
+                if self._gate_quarantined(segment_id):
+                    results[position] = self._gate_naive(segment_id, horizon)
+                    continue
                 if isinstance(view, IncompleteWindowError):
                     results[position] = self._naive(segment_id, horizon, str(view))
                     continue
@@ -308,4 +368,6 @@ class ForecastService:
         snap["cache"] = self.cache.stats()
         snap["model"] = self._model.name
         snap["pending_requests"] = len(self.batcher)
+        if self.gate is not None:
+            snap["gate"] = self.gate.snapshot()
         return snap

@@ -1,0 +1,40 @@
+"""Shared fixtures for the adversarial-robustness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import APOTS
+from repro.attacks import EvalSlice
+
+
+@pytest.fixture(scope="session")
+def victim_model(tiny_dataset, micro_preset):
+    """A quickly fitted plain-F model with recorded scalers (read-only)."""
+    model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+    return model.fit(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def eval_slice(tiny_dataset) -> EvalSlice:
+    """A small test-split slice in the harness's array form (read-only)."""
+    indices = tiny_dataset.subset("test")[:32]
+    batch = tiny_dataset.batch(indices)
+    return EvalSlice(
+        images=batch.images,
+        day_types=batch.day_types,
+        targets_scaled=batch.targets,
+        targets_kmh=tiny_dataset.features.targets_kmh[indices],
+        last_input_kmh=tiny_dataset.features.last_input_kmh[indices],
+    )
+
+
+@pytest.fixture
+def small_batch(eval_slice):
+    """A copy of the first few samples, safe to mutate."""
+    return (
+        np.array(eval_slice.images[:6]),
+        np.array(eval_slice.day_types[:6]),
+        np.array(eval_slice.targets_scaled[:6]),
+    )

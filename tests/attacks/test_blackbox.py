@@ -1,0 +1,68 @@
+"""SPSA / random-noise attacks that only query a predict callable."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import PlausibilityBox, RandomNoiseAttack, SPSAAttack
+
+
+@pytest.fixture
+def box():
+    return PlausibilityBox(epsilon_kmh=5.0)
+
+
+def squared_error(model, images, day_types, targets):
+    flat = np.concatenate([images.reshape(images.shape[0], -1), day_types], axis=1)
+    predictions = model.predictor.predict(images, day_types, flat)
+    return float(np.sum((predictions - targets) ** 2))
+
+
+class TestSPSA:
+    def test_increases_loss_with_queries_only(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        calls = {"n": 0}
+
+        def oracle(images, day_types, flat):
+            # The attack sees nothing but this callable — no weights,
+            # no gradients, exactly the deployed-service threat model.
+            calls["n"] += 1
+            return victim_model.predictor.predict(images, day_types, flat)
+
+        attack = SPSAAttack(oracle, victim_model.scalers,
+                            victim_model.features.num_roads, box,
+                            steps=4, samples=4, seed=1)
+        result = attack.perturb(images, day_types, targets)
+        clean = squared_error(victim_model, images, day_types, targets)
+        attacked = squared_error(victim_model, result.images, day_types, targets)
+        assert attacked > clean
+        assert result.max_abs_delta_kmh <= box.epsilon_kmh + 1e-9
+        assert calls["n"] > 0
+
+    def test_validates_parameters(self, victim_model, box):
+        with pytest.raises(ValueError, match="steps"):
+            SPSAAttack(victim_model.predictor.predict, victim_model.scalers,
+                       victim_model.features.num_roads, box, steps=0)
+        with pytest.raises(ValueError, match="probe"):
+            SPSAAttack(victim_model.predictor.predict, victim_model.scalers,
+                       victim_model.features.num_roads, box, probe_kmh=0.0)
+
+
+class TestRandomNoise:
+    def test_never_worse_than_clean(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        attack = RandomNoiseAttack(victim_model.predictor.predict, victim_model.scalers,
+                                   victim_model.features.num_roads, box, tries=6, seed=2)
+        result = attack.perturb(images, day_types, targets)
+        clean = squared_error(victim_model, images, day_types, targets)
+        attacked = squared_error(victim_model, result.images, day_types, targets)
+        # Best-of-k keeps the clean window when no noise beats it, so
+        # the summed loss can never decrease.
+        assert attacked >= clean
+        assert result.max_abs_delta_kmh <= box.epsilon_kmh + 1e-9
+
+    def test_best_so_far_losses_non_decreasing(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        attack = RandomNoiseAttack(victim_model.predictor.predict, victim_model.scalers,
+                                   victim_model.features.num_roads, box, tries=6, seed=2)
+        result = attack.perturb(images, day_types, targets)
+        assert result.losses == sorted(result.losses)

@@ -1,0 +1,89 @@
+"""PlausibilityBox: the feasible set every attack projects onto."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import MAX_PLAUSIBLE_SPEED_KMH, PlausibilityBox
+
+
+@pytest.fixture
+def reference(rng):
+    return rng.uniform(40.0, 100.0, size=(3, 5, 8))
+
+
+class TestProjection:
+    def test_identity_inside_box(self, reference):
+        box = PlausibilityBox(epsilon_kmh=5.0)
+        assert np.allclose(box.project(reference, reference), reference)
+
+    def test_epsilon_budget_enforced(self, reference, rng):
+        box = PlausibilityBox(epsilon_kmh=3.0, max_step_kmh=None)
+        wild = reference + rng.uniform(-50.0, 50.0, size=reference.shape)
+        projected = box.project(wild, reference)
+        assert np.all(np.abs(projected - reference) <= 3.0 + 1e-9)
+
+    def test_speed_range_enforced(self):
+        box = PlausibilityBox(epsilon_kmh=20.0, max_step_kmh=None)
+        reference = np.array([[5.0, 125.0]])
+        attacked = np.array([[-10.0, 160.0]])
+        projected = box.project(attacked, reference)
+        assert projected[0, 0] >= 0.0
+        assert projected[0, 1] <= MAX_PLAUSIBLE_SPEED_KMH
+
+    def test_reference_outside_range_does_not_invert(self):
+        # A reference above the ceiling crosses the epsilon and range
+        # bounds; the projection must collapse onto the speed ceiling
+        # (range wins) instead of producing an inverted interval.
+        box = PlausibilityBox(epsilon_kmh=2.0, max_step_kmh=None)
+        reference = np.array([[140.0, 140.0]])
+        projected = box.project(reference + 1.0, reference)
+        assert np.all(np.isfinite(projected))
+        assert np.allclose(projected, MAX_PLAUSIBLE_SPEED_KMH)
+
+    def test_rate_of_change_bound(self, rng):
+        box = PlausibilityBox(epsilon_kmh=30.0, max_step_kmh=4.0)
+        reference = np.full((2, 3, 10), 80.0)
+        attacked = reference + rng.uniform(-30.0, 30.0, size=reference.shape)
+        projected = box.project(attacked, reference)
+        delta = projected - reference
+        steps = np.abs(np.diff(delta, axis=-1))
+        assert np.all(steps <= 4.0 + 1e-9)
+
+    def test_rate_bound_none_allows_jumps(self):
+        box = PlausibilityBox(epsilon_kmh=30.0, max_step_kmh=None)
+        reference = np.full((1, 1, 4), 80.0)
+        attacked = reference + np.array([30.0, -30.0, 30.0, -30.0])
+        assert np.allclose(box.project(attacked, reference), attacked)
+
+    def test_inputs_not_modified(self, reference):
+        box = PlausibilityBox(epsilon_kmh=1.0)
+        attacked = reference + 10.0
+        before = attacked.copy()
+        box.project(attacked, reference)
+        assert np.array_equal(attacked, before)
+
+
+class TestContains:
+    def test_projected_point_is_contained(self, reference, rng):
+        box = PlausibilityBox(epsilon_kmh=5.0, max_step_kmh=3.0)
+        wild = reference + rng.uniform(-20.0, 20.0, size=reference.shape)
+        projected = box.project(wild, reference)
+        assert box.contains(projected, reference)
+
+    def test_violating_point_is_not_contained(self, reference):
+        box = PlausibilityBox(epsilon_kmh=5.0)
+        assert not box.contains(reference + 6.0, reference)
+
+
+class TestValidation:
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            PlausibilityBox(epsilon_kmh=-1.0)
+
+    def test_inverted_speed_range_rejected(self):
+        with pytest.raises(ValueError, match="max_speed"):
+            PlausibilityBox(epsilon_kmh=1.0, min_speed_kmh=50.0, max_speed_kmh=40.0)
+
+    def test_non_positive_step_rejected(self):
+        with pytest.raises(ValueError, match="max_step"):
+            PlausibilityBox(epsilon_kmh=1.0, max_step_kmh=0.0)

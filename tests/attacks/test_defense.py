@@ -1,0 +1,96 @@
+"""PerturbationGate screening logic (no serving dependency)."""
+
+import pytest
+
+from repro.attacks import GateConfig, PerturbationGate
+
+
+@pytest.fixture
+def gate():
+    return PerturbationGate(GateConfig(max_jump_kmh=10.0, quarantine_ticks=3))
+
+
+class TestScreening:
+    def test_smooth_stream_passes(self, gate):
+        for step, speed in enumerate([80.0, 82.0, 79.0, 85.0]):
+            decision = gate.screen(0, step, speed)
+            assert not decision.suspect
+        assert gate.snapshot()["hits"] == 0
+
+    def test_out_of_range_flagged(self, gate):
+        assert gate.screen(0, 0, -3.0).reason == "out_of_range"
+        assert gate.screen(1, 0, 150.0).reason == "out_of_range"
+
+    def test_implausible_jump_flagged(self, gate):
+        gate.screen(0, 0, 80.0)
+        decision = gate.screen(0, 1, 95.0)
+        assert decision.suspect and decision.reason == "implausible_jump"
+
+    def test_first_reading_never_a_jump(self, gate):
+        # No history yet: nothing to jump from.
+        assert not gate.screen(0, 0, 120.0).suspect
+
+    def test_segments_screened_independently(self, gate):
+        gate.screen(0, 0, 80.0)
+        gate.screen(1, 0, 30.0)
+        assert not gate.screen(1, 1, 32.0).suspect
+        assert gate.screen(0, 1, 95.0).suspect
+
+
+class TestQuarantine:
+    def test_quarantine_expires(self, gate):
+        gate.screen(0, 0, 80.0)
+        gate.screen(0, 1, 95.0)  # hit -> quarantined until step 4
+        assert gate.is_quarantined(0, step=1)
+        assert gate.is_quarantined(0, step=3)
+        assert not gate.is_quarantined(0, step=4)
+
+    def test_default_step_is_last_seen(self, gate):
+        gate.screen(0, 0, 80.0)
+        gate.screen(0, 1, 95.0)
+        assert gate.is_quarantined(0)
+        gate.screen(0, 2, 96.0)
+        gate.screen(0, 3, 95.5)
+        gate.screen(0, 4, 96.0)
+        assert not gate.is_quarantined(0)
+
+    def test_safe_speed_is_last_trusted(self, gate):
+        gate.screen(0, 0, 80.0)
+        gate.screen(0, 1, 95.0)  # suspect; trusted stays 80
+        decision = gate.screen(0, 2, 96.0)
+        assert decision.safe_speed_kmh == 80.0
+        # Readings during quarantine never become trusted.
+        assert gate.safe_speed(0) == 80.0
+
+    def test_unknown_segment_not_quarantined(self, gate):
+        assert not gate.is_quarantined(999)
+        assert gate.safe_speed(999) is None
+
+
+class TestBookkeeping:
+    def test_snapshot_counts(self, gate):
+        gate.screen(0, 0, 80.0)
+        gate.screen(0, 1, 95.0)
+        gate.screen(1, 0, 200.0)
+        snap = gate.snapshot()
+        assert snap["checks"] == 3
+        assert snap["hits"] == 2
+        assert snap["hits_by_reason"] == {"implausible_jump": 1, "out_of_range": 1}
+        assert snap["quarantined_segments"] == [0, 1]
+
+    def test_reset(self, gate):
+        gate.screen(0, 0, 200.0)
+        gate.reset()
+        snap = gate.snapshot()
+        assert snap["checks"] == 0 and snap["hits"] == 0
+        assert not gate.is_quarantined(0)
+
+
+class TestConfigValidation:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="max_speed"):
+            GateConfig(min_speed_kmh=100.0, max_speed_kmh=50.0)
+        with pytest.raises(ValueError, match="max_jump"):
+            GateConfig(max_jump_kmh=0.0)
+        with pytest.raises(ValueError, match="quarantine"):
+            GateConfig(quarantine_ticks=0)

@@ -1,0 +1,97 @@
+"""PerturbationGate wired into a live ForecastService."""
+
+import dataclasses
+
+import pytest
+
+from repro.attacks import GateConfig, PerturbationGate
+from repro.serving import ForecastService
+
+from ..serving.conftest import observation_at, replay
+
+
+@pytest.fixture
+def gated_service(victim_model, tiny_series):
+    gate = PerturbationGate(GateConfig(max_jump_kmh=12.0, quarantine_ticks=3))
+    service = ForecastService(victim_model, num_segments=tiny_series.num_segments, gate=gate)
+    replay(service, tiny_series, range(15))
+    return service
+
+
+def ingest_tick(service, series, step: int, poisoned: dict[int, float] | None = None):
+    """Feed one full corridor tick, bumping selected segments by km/h."""
+    poisoned = poisoned or {}
+    for segment in range(series.num_segments):
+        obs = observation_at(series, segment, step)
+        if segment in poisoned:
+            obs = dataclasses.replace(obs, speed_kmh=obs.speed_kmh + poisoned[segment])
+        service.ingest(obs)
+
+
+class TestGatedIngestion:
+    def test_clean_stream_counts_checks(self, gated_service, tiny_series):
+        snap = gated_service.snapshot()
+        assert snap["gate"]["checks"] == 15 * tiny_series.num_segments
+        assert snap["counters"]["gate_checks"] == 15 * tiny_series.num_segments
+        assert snap["counters"].get("gate_hits", 0) == snap["gate"]["hits"]
+
+    def test_poisoned_reading_hits_gate(self, gated_service, tiny_series):
+        target = tiny_series.corridor.target_index
+        before = gated_service.snapshot()["gate"]["hits"]
+        ingest_tick(gated_service, tiny_series, 15, poisoned={target: -40.0})
+        snap = gated_service.snapshot()
+        assert snap["gate"]["hits"] == before + 1
+        assert snap["counters"]["gate_hits"] >= 1
+
+
+class TestGatedForecasts:
+    def test_quarantined_target_degrades_to_trusted_speed(self, gated_service, tiny_series):
+        target = tiny_series.corridor.target_index
+        trusted = gated_service.gate.safe_speed(target)
+        ingest_tick(gated_service, tiny_series, 15, poisoned={target: -40.0})
+        forecast = gated_service.predict(target)
+        assert forecast.degraded
+        assert forecast.degraded_reason == "perturbation gate quarantine"
+        assert forecast.source == "naive"
+        # Persist the last *trusted* speed, not the poisoned reading.
+        assert forecast.speed_kmh == trusted
+        assert gated_service.snapshot()["counters"]["gate_degraded_forecasts"] >= 1
+
+    def test_poisoned_neighbour_also_degrades_target(self, gated_service, tiny_series):
+        # The window reads the target's m neighbours: a poisoned
+        # neighbour must not be forwarded to the model either.
+        target = tiny_series.corridor.target_index
+        ingest_tick(gated_service, tiny_series, 15, poisoned={target - 1: -40.0})
+        forecast = gated_service.predict(target)
+        assert forecast.degraded
+        assert forecast.degraded_reason == "perturbation gate quarantine"
+
+    def test_forecasts_recover_after_quarantine(self, gated_service, tiny_series):
+        target = tiny_series.corridor.target_index
+        ingest_tick(gated_service, tiny_series, 15, poisoned={target: -40.0})
+        assert gated_service.predict(target).degraded
+        # The attacker sustains a constant offset: subsequent ticks
+        # drift naturally, so the quarantine lapses and the model
+        # serves again (this slip-through is exactly why the offline
+        # sweep, not the gate, is the robustness measure).
+        for step in range(16, 20):
+            ingest_tick(gated_service, tiny_series, step, poisoned={target: -40.0})
+        forecast = gated_service.predict(target)
+        assert not forecast.degraded
+
+    def test_predict_many_routes_quarantined_segments(self, gated_service, tiny_series):
+        target = tiny_series.corridor.target_index
+        ingest_tick(gated_service, tiny_series, 15, poisoned={target: -40.0})
+        far = tiny_series.num_segments - 1
+        forecasts = gated_service.predict_many([target, far])
+        assert forecasts[0].degraded
+        assert forecasts[0].degraded_reason == "perturbation gate quarantine"
+
+
+class TestWithoutGate:
+    def test_gateless_service_has_no_gate_surface(self, victim_model, tiny_series):
+        service = ForecastService(victim_model, num_segments=tiny_series.num_segments)
+        replay(service, tiny_series, range(15))
+        snap = service.snapshot()
+        assert "gate" not in snap
+        assert not service.predict(tiny_series.corridor.target_index).degraded

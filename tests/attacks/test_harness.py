@@ -1,0 +1,87 @@
+"""Epsilon sweeps, report structure, and run-log emission."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks import EvalSlice, build_attack, evaluate_robustness
+from repro.attacks.constraints import PlausibilityBox
+from repro.obs import RunRecorder, validate_run_dir
+
+
+class TestEvaluateRobustness:
+    def test_attacked_strictly_worse_than_clean(self, victim_model, eval_slice):
+        report = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="fgsm", epsilons_kmh=[5.0],
+        )
+        result = report.results[0]
+        assert result.attacked["whole"]["mae"] > result.clean["whole"]["mae"]
+        assert result.num_samples == eval_slice.images.shape[0]
+
+    def test_degradation_grows_with_epsilon(self, victim_model, eval_slice):
+        report = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="fgsm", epsilons_kmh=[1.0, 5.0],
+        )
+        small, large = report.results
+        assert large.degradation() > small.degradation()
+
+    def test_emits_schema_valid_run_log(self, victim_model, eval_slice, tmp_path):
+        with RunRecorder(tmp_path / "run") as recorder:
+            evaluate_robustness(
+                victim_model.predictor, victim_model.scalers, eval_slice,
+                attack_name="pgd", epsilons_kmh=[2.0], recorder=recorder,
+            )
+        assert validate_run_dir(tmp_path / "run") == []
+        lines = (tmp_path / "run" / "events.jsonl").read_text().splitlines()
+        assert any('"robustness_summary"' in line for line in lines)
+        assert any('"attack_step"' in line for line in lines)
+
+    def test_report_renders(self, victim_model, eval_slice):
+        report = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="random", epsilons_kmh=[3.0],
+        )
+        text = report.render()
+        assert "random" in text and "whole" in text
+        assert report.results[0].to_dict()["epsilon_kmh"] == 3.0
+
+    def test_empty_regimes_are_nan_not_error(self, victim_model, eval_slice):
+        # The tiny slice has no abrupt-change samples; cells must be NaN
+        # (the APOTS.evaluate convention), not raise on empty arrays.
+        report = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="fgsm", epsilons_kmh=[1.0],
+        )
+        result = report.results[0]
+        if result.regime_counts["abrupt_acc"] == 0:
+            assert math.isnan(result.attacked["abrupt_acc"]["mae"])
+
+
+class TestEvalSlice:
+    def test_misaligned_arrays_rejected(self, eval_slice):
+        with pytest.raises(ValueError, match="aligned"):
+            EvalSlice(eval_slice.images, eval_slice.day_types[:-1],
+                      eval_slice.targets_scaled, eval_slice.targets_kmh,
+                      eval_slice.last_input_kmh)
+
+    def test_take_limits_samples(self, eval_slice):
+        taken = eval_slice.take(4)
+        assert taken.images.shape[0] == 4
+        assert eval_slice.take(None) is eval_slice
+        assert eval_slice.take(10_000) is eval_slice
+
+
+class TestBuildAttack:
+    def test_unknown_attack_rejected(self, victim_model):
+        box = PlausibilityBox(epsilon_kmh=1.0)
+        with pytest.raises(ValueError, match="unknown attack"):
+            build_attack("zero-day", victim_model.predictor, victim_model.scalers, box)
+
+    @pytest.mark.parametrize("name", ["fgsm", "pgd", "spsa", "random"])
+    def test_all_registered_attacks_construct(self, victim_model, name):
+        box = PlausibilityBox(epsilon_kmh=1.0)
+        attack = build_attack(name, victim_model.predictor, victim_model.scalers, box)
+        assert attack.name == name

@@ -1,0 +1,77 @@
+"""FGSM / PGD against a fitted predictor."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGSMAttack, PGDAttack, PlausibilityBox, speed_rows_kmh
+from repro.obs import RunRecorder
+
+
+def squared_error(model, images, day_types, targets):
+    flat = np.concatenate([images.reshape(images.shape[0], -1), day_types], axis=1)
+    predictions = model.predictor.predict(images, day_types, flat)
+    return float(np.sum((predictions - targets) ** 2))
+
+
+@pytest.fixture
+def box():
+    return PlausibilityBox(epsilon_kmh=5.0)
+
+
+class TestFGSM:
+    def test_increases_loss_and_respects_budget(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        attack = FGSMAttack(victim_model.predictor, victim_model.scalers, box)
+        result = attack.perturb(images, day_types, targets)
+        clean = squared_error(victim_model, images, day_types, targets)
+        attacked = squared_error(victim_model, result.images, day_types, targets)
+        assert attacked > clean
+        assert result.max_abs_delta_kmh <= box.epsilon_kmh + 1e-9
+
+    def test_non_speed_rows_untouched(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        num_roads = victim_model.features.num_roads
+        attack = FGSMAttack(victim_model.predictor, victim_model.scalers, box)
+        result = attack.perturb(images, day_types, targets)
+        assert np.array_equal(result.images[:, num_roads:, :], images[:, num_roads:, :])
+
+    def test_rejects_missing_scalers(self, victim_model, box):
+        with pytest.raises(ValueError, match="scalers"):
+            FGSMAttack(victim_model.predictor, None, box)
+
+
+class TestPGD:
+    def test_increases_loss_and_respects_budget(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        attack = PGDAttack(victim_model.predictor, victim_model.scalers, box, steps=5)
+        result = attack.perturb(images, day_types, targets)
+        clean = squared_error(victim_model, images, day_types, targets)
+        attacked = squared_error(victim_model, result.images, day_types, targets)
+        assert attacked > clean
+        assert result.max_abs_delta_kmh <= box.epsilon_kmh + 1e-9
+        assert len(result.losses) == 5
+
+    def test_projection_enforces_plausibility(self, victim_model, small_batch):
+        images, day_types, targets = small_batch
+        box = PlausibilityBox(epsilon_kmh=20.0, max_step_kmh=3.0)
+        attack = PGDAttack(victim_model.predictor, victim_model.scalers, box, steps=3)
+        result = attack.perturb(images, day_types, targets)
+        reference = speed_rows_kmh(images, victim_model.scalers,
+                                   victim_model.features.num_roads)
+        assert box.contains(result.speeds_kmh, reference, tol=1e-6)
+
+    def test_deterministic_under_seed(self, victim_model, small_batch, box):
+        images, day_types, targets = small_batch
+        first = PGDAttack(victim_model.predictor, victim_model.scalers, box,
+                          steps=3, seed=4).perturb(images, day_types, targets)
+        second = PGDAttack(victim_model.predictor, victim_model.scalers, box,
+                           steps=3, seed=4).perturb(images, day_types, targets)
+        assert np.array_equal(first.images, second.images)
+
+    def test_records_attack_steps(self, victim_model, small_batch, box, tmp_path):
+        images, day_types, targets = small_batch
+        attack = PGDAttack(victim_model.predictor, victim_model.scalers, box, steps=4)
+        with RunRecorder(tmp_path / "run") as recorder:
+            attack.perturb(images, day_types, targets, recorder=recorder)
+        lines = (tmp_path / "run" / "events.jsonl").read_text().splitlines()
+        assert sum('"attack_step"' in line for line in lines) == 4

@@ -1,0 +1,54 @@
+"""The robustness experiment: sweep + serving gate drill at micro scale."""
+
+import pytest
+
+from repro.experiments import robustness
+from repro.experiments.registry import run_experiment
+from repro.obs import RunRecorder, use_recorder, validate_run_dir
+
+
+@pytest.fixture(scope="class")
+def result(micro_preset):
+    return robustness.run(preset=micro_preset, seed=1, attack="pgd", epsilon=5.0)
+
+
+class TestRobustnessRun:
+    def test_sweep_covers_half_one_and_double_epsilon(self, result):
+        assert [r.epsilon_kmh for r in result.report.results] == [2.5, 5.0, 10.0]
+
+    def test_attacked_strictly_worse_than_clean(self, result):
+        for point in result.report.results:
+            assert point.attacked["whole"]["mae"] > point.clean["whole"]["mae"]
+
+    def test_budget_respected(self, result):
+        for point in result.report.results:
+            assert point.max_abs_delta_kmh <= point.epsilon_kmh + 1e-9
+
+    def test_gate_drill_triggers_degradation(self, result):
+        assert result.drill.attack_hits > 0
+        assert result.drill.gate_degraded_forecasts > 0
+        assert result.drill.degraded_during_attack > 0
+
+    def test_render_covers_both_phases(self, result):
+        text = result.render()
+        assert "Robustness of" in text
+        assert "Serving drill" in text and "gate hits" in text
+
+    def test_rejects_non_positive_epsilon(self, micro_preset):
+        with pytest.raises(ValueError, match="epsilon"):
+            robustness.run(preset=micro_preset, seed=1, epsilon=0.0)
+
+
+class TestRegistryWiring:
+    def test_runs_through_registry_with_kwargs(self, micro_preset, tmp_path):
+        with RunRecorder(tmp_path / "run") as recorder:
+            with use_recorder(recorder):
+                result = run_experiment(
+                    "robustness", preset=micro_preset, seed=1,
+                    attack="fgsm", epsilon=4.0,
+                )
+        assert result.attack == "fgsm"
+        assert result.epsilon_kmh == 4.0
+        assert validate_run_dir(tmp_path / "run") == []
+        events = (tmp_path / "run" / "events.jsonl").read_text()
+        assert '"robustness_summary"' in events

@@ -44,6 +44,19 @@ class TestValidateEvent:
             ),
             "model_fit": envelope("model_fit", name="APOTS_H"),
             "warning": envelope("warning", code="d_saturation", message="D won"),
+            "attack_step": envelope("attack_step", attack="pgd", epsilon=5.0, step=0, loss=1.2),
+            "robustness_summary": envelope(
+                "robustness_summary",
+                attack="pgd",
+                epsilon=5.0,
+                num_samples=128,
+                clean_mae=3.1,
+                attacked_mae=4.2,
+                clean_rmse=4.0,
+                attacked_rmse=5.3,
+                clean_mape=6.5,
+                attacked_mape=8.9,
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMA)
         for kind, event in samples.items():

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI smoke check for the adversarial-robustness layer (run by ``tools/ci.sh``).
+
+Fits a micro-scale victim, runs one PGD epsilon sweep through
+:func:`repro.attacks.evaluate_robustness` with a
+:class:`repro.obs.RunRecorder` attached, and validates
+
+* the attacked MAE is strictly worse than clean at every epsilon,
+* every perturbation respects the plausibility budget, and
+* the emitted run log (``attack_step`` / ``robustness_summary`` events)
+  validates against :mod:`repro.obs.schema`.
+
+Finally screens the attacked stream through a
+:class:`repro.attacks.defense.PerturbationGate` and checks the attack's
+onset transition registers at least one gate hit.
+
+Usage::
+
+    PYTHONPATH=src python tools/attack_smoke.py [--obs-dir DIR]
+
+Without ``--obs-dir`` the run log is written to a temporary directory
+and discarded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import APOTS, FeatureConfig, TrafficDataset  # noqa: E402
+from repro.attacks import (  # noqa: E402
+    EvalSlice,
+    GateConfig,
+    PerturbationGate,
+    PlausibilityBox,
+    build_attack,
+    evaluate_robustness,
+)
+from repro.core import TrainSpec  # noqa: E402
+from repro.obs import RunRecorder, validate_run_dir  # noqa: E402
+from repro.traffic import SimulationConfig, simulate  # noqa: E402
+
+EPSILONS_KMH = (2.5, 5.0)
+SAMPLES = 24
+
+
+def run_smoke(obs_dir: Path) -> list[str]:
+    """Attack a micro victim with a recorder; returns all failures."""
+    series = simulate(SimulationConfig(num_days=6, seed=7))
+    dataset = TrafficDataset(series, FeatureConfig(), seed=7)
+    spec = TrainSpec(epochs=2, max_steps_per_epoch=4, seed=7)
+    model = APOTS(predictor="F", adversarial=False, train_spec=spec, seed=7).fit(dataset)
+
+    indices = dataset.subset("test")[:SAMPLES]
+    batch = dataset.batch(indices)
+    eval_slice = EvalSlice(
+        images=batch.images,
+        day_types=batch.day_types,
+        targets_scaled=batch.targets,
+        targets_kmh=dataset.features.targets_kmh[indices],
+        last_input_kmh=dataset.features.last_input_kmh[indices],
+    )
+
+    with RunRecorder(obs_dir, manifest={"experiment": "attack_smoke"}) as recorder:
+        report = evaluate_robustness(
+            model.predictor, model.scalers, eval_slice,
+            attack_name="pgd", epsilons_kmh=EPSILONS_KMH,
+            model_name=model.name, recorder=recorder, seed=7,
+        )
+
+    errors = validate_run_dir(obs_dir)
+    for point in report.results:
+        clean = point.clean["whole"]["mae"]
+        attacked = point.attacked["whole"]["mae"]
+        if not attacked > clean:
+            errors.append(
+                f"eps {point.epsilon_kmh}: attacked MAE {attacked:.4f} "
+                f"not worse than clean {clean:.4f}"
+            )
+        if point.max_abs_delta_kmh > point.epsilon_kmh + 1e-9:
+            errors.append(
+                f"eps {point.epsilon_kmh}: perturbation {point.max_abs_delta_kmh:.4f} "
+                "km/h exceeds the plausibility budget"
+            )
+
+    # Gate drill: the attack's onset jump must register as a hit.
+    epsilon = EPSILONS_KMH[-1]
+    attack = build_attack("pgd", model.predictor, model.scalers,
+                          PlausibilityBox(epsilon_kmh=epsilon), seed=7)
+    attacked = attack.perturb(batch.images[:1], batch.day_types[:1], batch.targets[:1])
+    gate = PerturbationGate(GateConfig(max_jump_kmh=max(4.0, 0.8 * epsilon)))
+    middle = model.features.m  # target road is the middle image row
+    clean_series = model.scalers.speed.inverse_transform(batch.images[0, middle])
+    for step, speed in enumerate(clean_series[:-1]):
+        gate.screen(0, step, float(speed))
+    gate.screen(0, len(clean_series) - 1, float(attacked.speeds_kmh[0, middle, -1]))
+    if gate.snapshot()["hits"] < 1:
+        errors.append("gate registered no hit on the attack onset transition")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--obs-dir", default=None, help="keep the run log here (default: tmp)")
+    args = parser.parse_args(argv)
+    if args.obs_dir is not None:
+        errors = run_smoke(Path(args.obs_dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="attack-smoke-") as tmp:
+            errors = run_smoke(Path(tmp) / "run")
+    if errors:
+        print("attack_smoke: FAILED")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        "attack_smoke: OK (PGD sweep degrades the victim within budget, "
+        "run log validates, gate flags the onset)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

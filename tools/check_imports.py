@@ -7,7 +7,13 @@ layer reaches into one it must not depend on.  The rules keep the online
 serving path deployable without dragging the offline experiment harness
 (and its plotting/IO weight) into the server image:
 
-* ``repro.serving``  must not import ``repro.experiments`` or ``repro.baselines``
+* ``repro.serving``  must not import ``repro.experiments`` or ``repro.baselines``,
+  and of ``repro.attacks`` may import only the dependency-light
+  ``repro.attacks.defense`` gate (via the ``ALLOWED`` carve-out below)
+* ``repro.attacks``  may import ``repro.nn``/``repro.core``/``repro.metrics``/
+  ``repro.obs`` but must not reach into ``repro.data``, ``repro.traffic``,
+  ``repro.serving``, ``repro.experiments`` or ``repro.baselines`` — attacks
+  operate on arrays and predict callables, so any victim pipeline can use them
 * ``repro.data``     must not import ``repro.core``, ``repro.serving`` or ``repro.experiments``
 * ``repro.nn``       must not import anything above it (only numpy/stdlib)
 * ``repro.obs``      must not import anything above ``repro.nn`` — every
@@ -29,7 +35,14 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: layer prefix -> package prefixes it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.serving": ("repro.experiments", "repro.baselines"),
+    "repro.serving": ("repro.experiments", "repro.baselines", "repro.attacks"),
+    "repro.attacks": (
+        "repro.data",
+        "repro.traffic",
+        "repro.serving",
+        "repro.experiments",
+        "repro.baselines",
+    ),
     "repro.data": ("repro.core", "repro.serving", "repro.experiments"),
     "repro.nn": (
         "repro.core",
@@ -48,6 +61,16 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.traffic",
         "repro.baselines",
     ),
+}
+
+#: Narrow carve-outs from FORBIDDEN: layer prefix -> module names it may
+#: import despite a banning rule (including names imported *from* them).
+#: Listing a leaf module keeps the carve-out from silently widening to
+#: its siblings.
+ALLOWED: dict[str, tuple[str, ...]] = {
+    # The serving-side defense gate is stdlib-only by design; the rest of
+    # repro.attacks (autograd, metrics, harness) stays out of the server image.
+    "repro.serving": ("repro.attacks.defense",),
 }
 
 
@@ -83,15 +106,19 @@ def check() -> list[str]:
     violations: list[str] = []
     for path in sorted(SRC.glob("repro/**/*.py")):
         module = module_name(path)
-        rules = [
-            banned
-            for layer, banned in FORBIDDEN.items()
+        layers = [
+            layer
+            for layer in FORBIDDEN
             if module == layer or module.startswith(layer + ".")
         ]
-        if not rules:
+        if not layers:
             continue
+        rules = [FORBIDDEN[layer] for layer in layers]
+        allowed = {name for layer in layers for name in ALLOWED.get(layer, ())}
         tree = ast.parse(path.read_text(), filename=str(path))
         for lineno, imported in imported_modules(tree, module):
+            if any(imported == a or imported.startswith(a + ".") for a in allowed):
+                continue
             for banned in (b for group in rules for b in group):
                 if imported == banned or imported.startswith(banned + "."):
                     violations.append(
@@ -108,7 +135,10 @@ def main() -> int:
         for line in violations:
             print(f"  {line}")
         return 1
-    print(f"check_imports: OK ({len(FORBIDDEN)} layer rules, no violations)")
+    print(
+        f"check_imports: OK ({len(FORBIDDEN)} layer rules, "
+        f"{sum(map(len, ALLOWED.values()))} carve-outs, no violations)"
+    )
     return 0
 
 
