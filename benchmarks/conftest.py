@@ -4,11 +4,21 @@ Benchmarks run each experiment once (``pedantic(rounds=1)``) at the
 ``smoke`` scale: the goal is to regenerate every paper artefact's rows
 end-to-end and time the full pipeline, not to micro-profile training.
 Set ``REPRO_BENCH_PRESET=medium`` for paper-shaped numbers (slower).
+
+Each run leaves two artefacts next to this file:
+
+* ``last_run_report.txt`` — the rendered paper artefacts (human-readable);
+* ``BENCH_<preset>.json`` — machine-readable per-test timings (from
+  pytest-benchmark's stats) plus any custom metrics benches record via
+  :func:`record_metric`, stamped with preset / seed / timestamp, so the
+  perf trajectory across PRs can be diffed and plotted.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -35,14 +45,58 @@ def run_once(benchmark, func, *args, **kwargs):
 #: harness is to show the rows each paper artefact reports).
 REPORT_PATH = Path(__file__).with_name("last_run_report.txt")
 
+#: Machine-readable sibling of the report, keyed by test name.
+JSON_PATH = Path(__file__).with_name(f"BENCH_{BENCH_PRESET}.json")
+
+#: test name -> custom metrics recorded via :func:`record_metric`.
+_CUSTOM_METRICS: dict[str, dict] = {}
+
+
+def record_metric(test_name: str, **metrics) -> None:
+    """Attach custom numbers (throughput, speedup, …) to one test's JSON entry."""
+    _CUSTOM_METRICS.setdefault(test_name, {}).update(metrics)
+
+
+def _stats_of(bench) -> dict:
+    """Timing stats from one pytest-benchmark entry (a Metadata whose
+    ``stats`` attribute is the Stats accumulator), defensively."""
+    out: dict = {}
+    stats = getattr(bench, "stats", None)
+    for field in ("min", "max", "mean", "stddev", "rounds"):
+        value = getattr(stats, field, None)
+        if isinstance(value, (int, float)):
+            out[field if field == "rounds" else f"{field}_s"] = value
+    return out
+
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_report():
+def _fresh_report(request):
     REPORT_PATH.write_text(
         f"# Rendered paper artefacts from the last benchmark run "
         f"(preset={BENCH_PRESET}, seed={BENCH_SEED})\n"
     )
     yield
+    tests: dict[str, dict] = {}
+    session = getattr(request.config, "_benchmarksession", None)
+    for bench in getattr(session, "benchmarks", []) or []:
+        name = getattr(bench, "name", None)
+        if name:
+            tests[name] = _stats_of(bench)
+    for name, metrics in _CUSTOM_METRICS.items():
+        tests.setdefault(name, {}).update(metrics)
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "preset": BENCH_PRESET,
+                "seed": BENCH_SEED,
+                "timestamp": time.time(),
+                "tests": tests,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
 
 def report(text: str) -> None:

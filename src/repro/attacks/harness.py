@@ -17,6 +17,7 @@ import numpy as np
 
 from ..metrics.errors import all_errors
 from ..metrics.regimes import classify_regimes
+from ..parallel import parallel_map
 from .base import Attack, flatten_windows
 from .blackbox import RandomNoiseAttack, SPSAAttack
 from .constraints import PlausibilityBox
@@ -82,6 +83,49 @@ def build_attack(name: str, predictor, scalers, constraint: PlausibilityBox,
     raise ValueError(f"unknown attack {name!r}; have {ATTACK_NAMES}")
 
 
+#: Worker-side shared state for the per-epsilon shards: the victim and
+#: the eval arrays ship once per worker (or ride the fork), so each
+#: epsilon task is just a float.
+_SWEEP_CONTEXT: dict | None = None
+
+
+def _init_sweep_worker(
+    predictor, scalers, images, day_types, targets_scaled, targets_kmh,
+    last_input_kmh, masks, attack_name, max_step_kmh, seed, attack_kwargs,
+) -> None:
+    global _SWEEP_CONTEXT
+    _SWEEP_CONTEXT = {
+        "predictor": predictor,
+        "scalers": scalers,
+        "images": images,
+        "day_types": day_types,
+        "targets_scaled": targets_scaled,
+        "targets_kmh": targets_kmh,
+        "last_input_kmh": last_input_kmh,
+        "masks": masks,
+        "attack_name": attack_name,
+        "max_step_kmh": max_step_kmh,
+        "seed": seed,
+        "attack_kwargs": attack_kwargs,
+    }
+
+
+def _sweep_one_epsilon(epsilon: float) -> tuple[str, float, dict]:
+    """One epsilon grid point: (attack name, max |delta|, attacked errors)."""
+    ctx = _SWEEP_CONTEXT
+    predictor, scalers = ctx["predictor"], ctx["scalers"]
+    images, day_types = ctx["images"], ctx["day_types"]
+    constraint = PlausibilityBox(epsilon_kmh=float(epsilon), max_step_kmh=ctx["max_step_kmh"])
+    attack = build_attack(ctx["attack_name"], predictor, scalers, constraint,
+                          seed=ctx["seed"], **ctx["attack_kwargs"])
+    attacked = attack.perturb(images, day_types, ctx["targets_scaled"])
+    adv_flat = flatten_windows(attacked.images, day_types)
+    adv_scaled = predictor.predict(attacked.images, day_types, adv_flat)
+    adv_kmh = scalers.speed.inverse_transform(adv_scaled)
+    adv_by_regime = _errors_by_regime(adv_kmh, ctx["targets_kmh"], ctx["masks"])
+    return attack.name, attacked.max_abs_delta_kmh, adv_by_regime
+
+
 def evaluate_robustness(
     predictor,
     scalers,
@@ -92,6 +136,7 @@ def evaluate_robustness(
     model_name: str | None = None,
     recorder=None,
     seed: int = 0,
+    workers: int = 1,
     **attack_kwargs,
 ) -> RobustnessReport:
     """Sweep an epsilon grid and report clean-vs-attacked errors.
@@ -100,6 +145,13 @@ def evaluate_robustness(
     under a fresh :class:`PlausibilityBox`.  With a ``recorder`` the
     sweep emits per-step ``attack_step`` events and one
     ``robustness_summary`` event per grid point.
+
+    With ``workers > 1`` the epsilon grid points run as parallel shards
+    (each attack is seeded per-epsilon-independently already, so the
+    numbers match the serial sweep exactly).  Per-step ``attack_step``
+    events are parent-side only and therefore unavailable in this mode;
+    the per-epsilon ``robustness_summary`` events are still emitted, in
+    grid order, once the shards return.
     """
     images = np.asarray(eval_slice.images, dtype=np.float64)
     day_types = np.asarray(eval_slice.day_types, dtype=np.float64)
@@ -110,6 +162,47 @@ def evaluate_robustness(
     clean_by_regime = _errors_by_regime(clean_kmh, eval_slice.targets_kmh, masks)
 
     results: list[EpsilonResult] = []
+    if workers > 1 and len(epsilons_kmh) > 1:
+        initargs = (
+            predictor, scalers, images, day_types, eval_slice.targets_scaled,
+            eval_slice.targets_kmh, eval_slice.last_input_kmh, masks,
+            attack_name, max_step_kmh, seed, attack_kwargs,
+        )
+        shard_results = parallel_map(
+            _sweep_one_epsilon,
+            [float(epsilon) for epsilon in epsilons_kmh],
+            workers=workers,
+            root_seed=seed,
+            initializer=_init_sweep_worker,
+            initargs=initargs,
+        )
+        for epsilon, (name, max_abs_delta, adv_by_regime) in zip(epsilons_kmh, shard_results):
+            result = EpsilonResult(
+                attack=name,
+                epsilon_kmh=float(epsilon),
+                num_samples=int(images.shape[0]),
+                max_abs_delta_kmh=max_abs_delta,
+                clean=clean_by_regime,
+                attacked=adv_by_regime,
+                regime_counts=masks.counts(),
+            )
+            results.append(result)
+            if recorder is not None:
+                recorder.event(
+                    "robustness_summary",
+                    attack=result.attack,
+                    epsilon=float(epsilon),
+                    num_samples=result.num_samples,
+                    clean_mae=result.clean["whole"]["mae"],
+                    attacked_mae=result.attacked["whole"]["mae"],
+                    clean_rmse=result.clean["whole"]["rmse"],
+                    attacked_rmse=result.attacked["whole"]["rmse"],
+                    clean_mape=result.clean["whole"]["mape"],
+                    attacked_mape=result.attacked["whole"]["mape"],
+                )
+        name = model_name if model_name is not None else getattr(predictor, "kind", "model")
+        return RobustnessReport(model=name, results=results)
+
     for epsilon in epsilons_kmh:
         constraint = PlausibilityBox(epsilon_kmh=float(epsilon), max_step_kmh=max_step_kmh)
         attack = build_attack(attack_name, predictor, scalers, constraint,

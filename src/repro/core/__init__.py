@@ -2,6 +2,7 @@
 
 from .adversarial import AdversarialHistory, APOTSTrainer
 from .config import PRESETS, ModelSpec, ScalePreset, TrainSpec, table1_spec
+from .data_parallel import DataParallelTrainer
 from .discriminator import Discriminator
 from .model import APOTS, EvaluationReport
 from .predictors import (
@@ -34,6 +35,7 @@ __all__ = [
     "Predictor",
     "build_predictor",
     "SupervisedTrainer",
+    "DataParallelTrainer",
     "TrainHistory",
     "GridSearchResult",
     "expand_grid",

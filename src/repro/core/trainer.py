@@ -50,6 +50,21 @@ class SupervisedTrainer:
         self.optimizer = nn.Adam(predictor.parameters(), lr=self.spec.learning_rate)
         self.loss_fn = nn.MSELoss()
 
+    def _train_step(self, batch) -> tuple[float, float]:
+        """One optimiser update over ``batch``; returns (loss, grad norm).
+
+        The single override point for trainers that change *where* the
+        gradient is computed (see :class:`repro.core.DataParallelTrainer`)
+        without touching the epoch loop, early stopping or telemetry.
+        """
+        prediction = self.predictor.predict_arrays(batch.images, batch.day_types, batch.flat)
+        loss = self.loss_fn(prediction, batch.targets)
+        self.optimizer.zero_grad()
+        loss.backward()
+        grad_norm = nn.clip_grad_norm(self.predictor.parameters(), self.spec.grad_clip)
+        self.optimizer.step()
+        return loss.item(), grad_norm
+
     def _epoch_batches(self, dataset: TrafficDataset, rng: np.random.Generator):
         batches = iterate_batches(
             dataset.subset("train"), self.spec.batch_size, rng=rng, shuffle=True
@@ -79,7 +94,7 @@ class SupervisedTrainer:
         monitor = TrainingMonitor(rec) if rec is not None else None
         if rec is not None:
             rec.annotate(
-                trainer="SupervisedTrainer", train_spec=asdict(self.spec), seed=self.spec.seed
+                trainer=type(self).__name__, train_spec=asdict(self.spec), seed=self.spec.seed
             )
         section = rec.section if rec is not None else (lambda name: nullcontext())
         patience = self.spec.early_stopping_patience
@@ -93,17 +108,7 @@ class SupervisedTrainer:
             grad_norms = []
             for step, batch in enumerate(self._epoch_batches(dataset, rng)):
                 with section("train_step"):
-                    prediction = self.predictor.predict_arrays(
-                        batch.images, batch.day_types, batch.flat
-                    )
-                    loss = self.loss_fn(prediction, batch.targets)
-                    self.optimizer.zero_grad()
-                    loss.backward()
-                    grad_norm = nn.clip_grad_norm(
-                        self.predictor.parameters(), self.spec.grad_clip
-                    )
-                    self.optimizer.step()
-                loss_value = loss.item()
+                    loss_value, grad_norm = self._train_step(batch)
                 losses.append(loss_value)
                 grad_norms.append(grad_norm)
                 if monitor is not None:

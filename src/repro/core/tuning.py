@@ -4,6 +4,12 @@ The paper tunes each predictor "by a grid search, evaluating the
 accuracy on the validation set" — 20 % of the training samples.  This
 module reproduces that workflow: a declarative grid over training
 hyper-parameters and/or architecture widths, scored by validation MAPE.
+
+Candidates are independent trainings, so the grid parallelises across
+processes (``workers``) via :func:`repro.parallel.parallel_map`.  Every
+candidate carries its own fixed seed, so the parallel results equal the
+serial ones exactly, and ``workers=1`` never spawns a process at all —
+it runs the very same loop this module always ran.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 
 from ..data.dataset import TrafficDataset
 from ..metrics.errors import mape
+from ..parallel import parallel_map
 from .config import ModelSpec, ScalePreset, TrainSpec, table1_spec
 from .model import APOTS
 
@@ -66,6 +73,55 @@ def _validation_mape(model: APOTS, dataset: TrafficDataset) -> float:
     return mape(prediction, truth)
 
 
+#: Worker-side shared state, installed once per worker by the pool
+#: initializer so candidate tasks ship only their (width, overrides).
+_GRID_CONTEXT: dict | None = None
+
+
+def _init_grid_worker(
+    kind: str,
+    dataset: TrafficDataset,
+    preset: ScalePreset,
+    adversarial: bool,
+    seed: int,
+    base_spec: TrainSpec,
+) -> None:
+    global _GRID_CONTEXT
+    _GRID_CONTEXT = {
+        "kind": kind,
+        "dataset": dataset,
+        "preset": preset,
+        "adversarial": adversarial,
+        "seed": seed,
+        "base_spec": base_spec,
+    }
+
+
+def _evaluate_candidate(candidate: tuple[float, dict]) -> dict:
+    """Train and score one (width_factor, overrides) grid point."""
+    width, overrides = candidate
+    ctx = _GRID_CONTEXT
+    dataset: TrafficDataset = ctx["dataset"]
+    model_spec: ModelSpec = table1_spec(ctx["kind"], width)
+    train_spec: TrainSpec = dataclasses.replace(ctx["base_spec"], **overrides)
+    model = APOTS(
+        predictor=ctx["kind"],
+        features=dataset.config,
+        adversarial=ctx["adversarial"],
+        preset=ctx["preset"],
+        train_spec=train_spec,
+        model_spec=model_spec,
+        seed=ctx["seed"],
+    )
+    model.fit(dataset)
+    score = _validation_mape(model, dataset)
+    return {
+        "params": {"width_factor": width, **overrides},
+        "validation_mape": float(score) if np.isfinite(score) else float("inf"),
+        "model": model,
+    }
+
+
 def grid_search(
     kind: str,
     dataset: TrafficDataset,
@@ -74,6 +130,7 @@ def grid_search(
     width_factors: list[float] | None = None,
     adversarial: bool = False,
     seed: int = 0,
+    workers: int = 1,
 ) -> GridSearchResult:
     """Grid-search training hyper-parameters and/or widths for one predictor.
 
@@ -92,34 +149,36 @@ def grid_search(
         Optional list of architecture width multipliers to sweep.
     adversarial:
         Whether each candidate trains with the APOTS game.
+    workers:
+        Processes to train candidates in.  Each candidate's training is
+        seeded identically either way, so any ``workers`` value yields
+        the same entries; ``1`` (the default) stays in-process.
     """
     train_grid = train_grid if train_grid is not None else {}
     width_factors = width_factors if width_factors is not None else [preset.width_factor]
     base_spec = preset.train_spec(adversarial=adversarial, seed=seed)
 
-    result = GridSearchResult()
-    for width in width_factors:
-        model_spec: ModelSpec = table1_spec(kind, width)
-        for overrides in expand_grid(train_grid):
-            train_spec: TrainSpec = dataclasses.replace(base_spec, **overrides)
-            model = APOTS(
-                predictor=kind,
-                features=dataset.config,
-                adversarial=adversarial,
-                preset=preset,
-                train_spec=train_spec,
-                model_spec=model_spec,
-                seed=seed,
-            )
-            model.fit(dataset)
-            score = _validation_mape(model, dataset)
-            params = {"width_factor": width, **overrides}
-            result.entries.append(
-                {
-                    "params": params,
-                    "validation_mape": float(score) if np.isfinite(score) else float("inf"),
-                    "model": model,
-                }
-            )
+    candidates = [
+        (width, overrides)
+        for width in width_factors
+        for overrides in expand_grid(train_grid)
+    ]
+    initargs = (kind, dataset, preset, adversarial, seed, base_spec)
+    if workers <= 1 or len(candidates) <= 1:
+        _init_grid_worker(*initargs)
+        try:
+            entries = [_evaluate_candidate(candidate) for candidate in candidates]
+        finally:
+            globals()["_GRID_CONTEXT"] = None
+    else:
+        entries = parallel_map(
+            _evaluate_candidate,
+            candidates,
+            workers=workers,
+            root_seed=seed,
+            initializer=_init_grid_worker,
+            initargs=initargs,
+        )
+    result = GridSearchResult(entries=entries)
     result.sort()
     return result

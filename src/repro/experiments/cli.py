@@ -66,6 +66,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KMH",
         help="perturbation budget in km/h for the robustness experiment (default: 5)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for the robustness experiment's epsilon sweep "
+        "(repro.parallel; default 1 = serial, identical numbers)",
+    )
     return parser
 
 
@@ -80,7 +88,11 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.time()
         # Attack knobs only exist on the robustness runner.
-        extra = {"attack": args.attack, "epsilon": args.epsilon} if name == "robustness" else {}
+        extra = (
+            {"attack": args.attack, "epsilon": args.epsilon, "workers": args.workers}
+            if name == "robustness"
+            else {}
+        )
         if args.obs_dir is not None:
             recorder = RunRecorder(
                 Path(args.obs_dir) / name,

@@ -93,8 +93,14 @@ def run(
     seed: int = DEFAULT_SEED,
     attack: str = "pgd",
     epsilon: float = 5.0,
+    workers: int = 1,
 ) -> RobustnessResult:
-    """Run the robustness experiment (CLI: ``--attack``, ``--epsilon``)."""
+    """Run the robustness experiment (CLI: ``--attack``, ``--epsilon``).
+
+    ``workers > 1`` shards the epsilon sweep across processes (same
+    numbers, see :func:`repro.attacks.evaluate_robustness`); the gate
+    drill stays serial — it exercises a stateful live service.
+    """
     if epsilon <= 0:
         raise ValueError("epsilon must be positive (km/h)")
     preset = resolve_preset(preset)
@@ -119,6 +125,7 @@ def run(
         model_name=model.name,
         recorder=recorder,
         seed=seed,
+        workers=workers,
     )
     drill = _gate_drill(model, dataset, attack, epsilon, seed)
     return RobustnessResult(report=report, drill=drill, attack=attack, epsilon_kmh=epsilon)

@@ -73,6 +73,12 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     # Harness / monitors -------------------------------------------------
     "model_fit": {"name": _STR},
     "warning": {"code": _STR, "message": _STR},
+    # Worker pool (repro.parallel) ---------------------------------------
+    # Emitted by the parent process only (workers never hold the
+    # recorder), so one map's events interleave but never corrupt.
+    "pool_task_start": {"task": _INT, "attempt": _INT, "worker": _INT},
+    "pool_task_end": {"task": _INT, "attempt": _INT, "worker": _INT, "duration_s": _NUM},
+    "pool_task_retry": {"task": _INT, "attempt": _INT, "reason": _STR},
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
     "robustness_summary": {

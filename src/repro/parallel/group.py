@@ -1,0 +1,164 @@
+"""Persistent stateful workers over pipes (the data-parallel substrate).
+
+:class:`repro.parallel.WorkerPool` is for independent fire-and-forget
+tasks; gradient workers are the opposite — each holds a long-lived
+*replica* object (e.g. a model copy) and answers many small method
+calls per second.  :class:`WorkerGroup` provides exactly that shape:
+
+* each worker is one process with one duplex :func:`multiprocessing.Pipe`;
+* a picklable ``factory()`` builds the replica inside the child (so the
+  group is spawn-safe; under fork the factory's captured state rides
+  along for free);
+* :meth:`scatter` sends one ``(method, args)`` call to each of the
+  first *k* workers and gathers the replies in worker order — the
+  synchronous step shape data-parallel training needs;
+* a worker that dies mid-call surfaces as :class:`WorkerGroupError`
+  naming the worker, never as a hang.
+
+The group deliberately has no retry logic: replicas are stateful, so a
+respawned worker would silently diverge — the caller owns recovery
+(typically: rebuild the group from the current parent state).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable, Sequence
+
+from .pool import _resolve_context
+
+__all__ = ["WorkerGroup", "WorkerGroupError"]
+
+
+class WorkerGroupError(RuntimeError):
+    """A group worker died or raised during a call."""
+
+
+def _group_worker_main(worker_id: int, factory: Callable[[], Any], connection) -> None:
+    """Child loop: build the replica, answer method calls until EOF."""
+    try:
+        replica = factory()
+    except BaseException:
+        connection.send(("init_error", traceback.format_exc()))
+        return
+    connection.send(("ready", worker_id))
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        method, args = message
+        try:
+            result = getattr(replica, method)(*args)
+        except BaseException:
+            connection.send(("exc", traceback.format_exc()))
+        else:
+            connection.send(("ok", result))
+
+
+class WorkerGroup:
+    """A fixed set of persistent replica processes addressed by index."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        workers: int,
+        *,
+        context: str | Any | None = None,
+    ):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        ctx = _resolve_context(context)
+        self._connections = []
+        self._processes = []
+        self._closed = False
+        for worker_id in range(workers):
+            parent_end, child_end = ctx.Pipe()
+            process = ctx.Process(
+                target=_group_worker_main,
+                args=(worker_id, factory, child_end),
+                daemon=True,
+                name=f"repro-group-{worker_id}",
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        for worker_id, connection in enumerate(self._connections):
+            kind, payload = self._receive(worker_id, connection)
+            if kind == "init_error":
+                self.close()
+                raise WorkerGroupError(f"worker {worker_id} factory failed:\n{payload}")
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def _receive(self, worker_id: int, connection) -> tuple:
+        try:
+            return connection.recv()
+        except (EOFError, OSError):
+            code = self._processes[worker_id].exitcode
+            self.close()
+            raise WorkerGroupError(
+                f"group worker {worker_id} died mid-call (exitcode {code})"
+            ) from None
+
+    def scatter(self, method: str, args_per_worker: Sequence[tuple]) -> list:
+        """Call ``method(*args)`` on the first ``len(args_per_worker)`` workers.
+
+        Sends every request before reading any reply, so workers run
+        concurrently; replies come back in worker order.
+        """
+        if self._closed:
+            raise WorkerGroupError("worker group is closed")
+        if len(args_per_worker) > len(self._processes):
+            raise ValueError(
+                f"{len(args_per_worker)} calls for {len(self._processes)} workers"
+            )
+        active = list(enumerate(args_per_worker))
+        for worker_id, args in active:
+            self._connections[worker_id].send((method, args))
+        results = []
+        for worker_id, _ in active:
+            kind, payload = self._receive(worker_id, self._connections[worker_id])
+            if kind == "exc":
+                self.close()
+                raise WorkerGroupError(f"worker {worker_id}.{method} raised:\n{payload}")
+            results.append(payload)
+        return results
+
+    def broadcast(self, method: str, args: tuple = ()) -> list:
+        """Call the same method with the same args on every worker."""
+        return self.scatter(method, [args] * len(self._processes))
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                try:
+                    process.kill()
+                except (OSError, ValueError):
+                    pass
+                process.join(timeout=2.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

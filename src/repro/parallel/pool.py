@@ -1,0 +1,437 @@
+"""Fault-tolerant multi-process worker pool.
+
+:class:`WorkerPool` runs picklable task functions across OS processes
+with the guarantees the compute layers above need:
+
+* **Deterministic seeding** — every task gets a seed derived from the
+  pool's root seed and the task index only (:mod:`repro.parallel.seeding`),
+  so results never depend on worker count or completion order.
+* **Fault tolerance** — each worker has its own task channel, so the
+  parent always knows which task a dead worker held.  A worker that
+  dies (segfault, ``os._exit``, OOM kill), exceeds the per-task
+  timeout, or stops heartbeating is killed and replaced, and its task
+  is requeued up to ``max_retries`` extra attempts before the pool
+  gives up on it.
+* **Observability** — the parent emits ``pool_task_start`` /
+  ``pool_task_end`` / ``pool_task_retry`` events through an attached
+  (or ambient) :class:`repro.obs.RunRecorder`; workers never touch the
+  recorder, so event streams stay single-writer.
+* **Clean teardown** — ``KeyboardInterrupt`` (or any error) in the
+  parent kills every worker before propagating; no orphan processes,
+  no hang on a half-drained queue.
+
+Task *function* exceptions are not retried — a deterministic task that
+raised once would raise again — they fail the task immediately.  Only
+infrastructure failures (worker death, timeout, stall) consume retry
+budget.
+
+The pool is spawn-safe: workers are started from a module-level entry
+point, everything shipped to them is pickled, and the optional
+``initializer`` runs inside the child, so ``context="spawn"`` works
+wherever fork is unavailable.  On Linux the default is fork, which also
+lets workers inherit large parent state (datasets, model caches) for
+free.
+
+With ``workers <= 1`` (or a single task) no process is ever created:
+tasks run in the parent, in order, under the same task context — the
+serial path is bitwise-identical to not using the pool at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..obs import current_recorder
+from .seeding import derive_task_seed, task_context
+
+__all__ = ["WorkerPool", "TaskFailure", "PoolError"]
+
+
+class PoolError(RuntimeError):
+    """The pool itself failed (not an individual task)."""
+
+
+@dataclass
+class TaskFailure(Exception):
+    """One task exhausted its attempts (or raised, which is terminal).
+
+    With ``return_failures=True`` instances are returned in the result
+    slots of failed tasks instead of being raised, so callers can build
+    pass/fail tables without losing the rest of the map.
+    """
+
+    index: int
+    attempts: int
+    reason: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"task {self.index} failed after {self.attempts} attempt(s): {self.reason}"
+        return f"{text}\n{self.detail}" if self.detail else text
+
+
+def _resolve_context(context: str | Any | None):
+    """A multiprocessing context: fork where available, else spawn."""
+    if context is None:
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+    if isinstance(context, str):
+        return mp.get_context(context)
+    return context
+
+
+def _worker_main(
+    worker_id: int,
+    task_channel,
+    result_queue,
+    heartbeat_interval: float,
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+) -> None:
+    """Worker loop: run tasks off the private channel until sentinel."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException:
+        result_queue.put(("init_error", worker_id, traceback.format_exc()))
+        return
+
+    stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                result_queue.put(("hb", worker_id, None))
+            except Exception:
+                return
+
+    beat = threading.Thread(target=heartbeat, daemon=True)
+    beat.start()
+
+    while True:
+        message = task_channel.get()
+        if message is None:
+            break
+        index, attempt, seed, fn, item = message
+        try:
+            with task_context(index, attempt, seed):
+                result = fn(item)
+        except BaseException:
+            result_queue.put(("exc", worker_id, (index, attempt, traceback.format_exc())))
+            continue
+        payload = (index, attempt, result)
+        try:
+            # Pre-flight: Queue.put pickles in a feeder thread whose
+            # errors never reach the parent; an unpicklable result must
+            # fail loudly here instead of hanging the pool.
+            pickle.dumps(payload)
+        except Exception:
+            result_queue.put(("exc", worker_id, (index, attempt, traceback.format_exc())))
+        else:
+            result_queue.put(("done", worker_id, payload))
+    stop.set()
+
+
+@dataclass
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker process."""
+
+    process: Any
+    channel: Any
+    busy: tuple[int, int] | None = None  # (task index, attempt)
+    dispatched_at: float = 0.0
+    last_heartbeat: float = field(default_factory=time.monotonic)
+
+
+class WorkerPool:
+    """Map tasks over a pool of processes with retries and seeding.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``<= 1`` runs everything serially
+        in the parent (no processes, bitwise-identical results).
+    root_seed:
+        Root of the per-task seed derivation.
+    task_timeout:
+        Seconds one attempt may run before the worker is killed and the
+        task retried.  ``None`` disables the timeout.
+    max_retries:
+        Extra attempts granted after an infrastructure failure
+        (worker death / timeout / stall).  ``0`` means one attempt only.
+    heartbeat_interval / heartbeat_timeout:
+        Workers post a heartbeat every ``heartbeat_interval`` seconds
+        from a daemon thread; a busy worker whose process is alive but
+        silent for ``heartbeat_timeout`` seconds (e.g. SIGSTOPped or
+        swap-stalled) is treated like a timed-out one.  ``None``
+        disables stall detection.
+    context:
+        ``"fork"`` / ``"spawn"`` / a multiprocessing context; default
+        fork where available, spawn otherwise.
+    initializer / initargs:
+        Run once inside each worker before its first task — ship heavy
+        shared state (datasets, victim models) once per worker instead
+        of once per task.
+    recorder:
+        :class:`repro.obs.RunRecorder` for pool events; defaults to the
+        ambient recorder (:func:`repro.obs.current_recorder`).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        root_seed: int = 0,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float | None = 30.0,
+        context: str | Any | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        recorder=None,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.workers = workers
+        self.root_seed = root_seed
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self._context = _resolve_context(context)
+        self._recorder = recorder
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **fields) -> None:
+        recorder = self._recorder if self._recorder is not None else current_recorder()
+        if recorder is not None:
+            recorder.event(kind, **fields)
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        return_failures: bool = False,
+    ) -> list:
+        """``[fn(item) for item in items]`` across the pool, in order.
+
+        Raises :class:`TaskFailure` on the first unrecoverable task
+        unless ``return_failures=True``, in which case failures occupy
+        their task's result slot and every other task still completes.
+        """
+        tasks = list(items)
+        if not tasks:
+            return []
+        if self.workers <= 1 or len(tasks) == 1:
+            return self._map_serial(fn, tasks, return_failures)
+        return self._map_parallel(fn, tasks, return_failures)
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn, tasks: Sequence, return_failures: bool) -> list:
+        results = []
+        for index, item in enumerate(tasks):
+            seed = derive_task_seed(self.root_seed, index)
+            self._emit("pool_task_start", task=index, attempt=0, worker=0)
+            started = time.monotonic()
+            try:
+                with task_context(index, 0, seed):
+                    result = fn(item)
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                failure = TaskFailure(index, 1, "task raised", traceback.format_exc())
+                if not return_failures:
+                    raise failure from None
+                results.append(failure)
+                continue
+            self._emit(
+                "pool_task_end",
+                task=index,
+                attempt=0,
+                worker=0,
+                duration_s=time.monotonic() - started,
+            )
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, worker_id: int, result_queue) -> _WorkerSlot:
+        channel = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                channel,
+                result_queue,
+                self.heartbeat_interval,
+                self.initializer,
+                self.initargs,
+            ),
+            daemon=True,
+            name=f"repro-pool-{worker_id}",
+        )
+        process.start()
+        return _WorkerSlot(process=process, channel=channel)
+
+    @staticmethod
+    def _kill(slot: _WorkerSlot) -> None:
+        # SIGKILL, not SIGTERM: a SIGSTOPped worker never delivers
+        # SIGTERM, and we are past the point of graceful shutdown.
+        try:
+            slot.process.kill()
+        except (OSError, ValueError):
+            pass
+        slot.process.join(timeout=5.0)
+
+    def _map_parallel(self, fn, tasks: Sequence, return_failures: bool) -> list:
+        num_workers = min(self.workers, len(tasks))
+        result_queue = self._context.Queue()
+        slots: dict[int, _WorkerSlot] = {}
+        results: dict[int, Any] = {}
+        pending: list[tuple[int, int]] = [(i, 0) for i in reversed(range(len(tasks)))]
+        outstanding = set(range(len(tasks)))
+
+        def dispatch() -> None:
+            for wid, slot in slots.items():
+                if not pending:
+                    return
+                if slot.busy is None and slot.process.is_alive():
+                    index, attempt = pending.pop()
+                    seed = derive_task_seed(self.root_seed, index)
+                    message = (index, attempt, seed, fn, tasks[index])
+                    try:
+                        # Queue.put pickles in a feeder thread whose errors
+                        # vanish; an unpicklable task must fail loudly, not
+                        # leave the worker idle until a timeout fires.
+                        pickle.dumps(message)
+                    except Exception as exc:
+                        raise PoolError(
+                            f"task {index} (or its function) is not picklable: {exc}"
+                        ) from exc
+                    slot.channel.put(message)
+                    slot.busy = (index, attempt)
+                    slot.dispatched_at = time.monotonic()
+                    slot.last_heartbeat = slot.dispatched_at
+                    self._emit("pool_task_start", task=index, attempt=attempt, worker=wid)
+
+        def fail(index: int, attempts: int, reason: str, detail: str = "") -> None:
+            failure = TaskFailure(index, attempts, reason, detail)
+            if not return_failures:
+                raise failure
+            results[index] = failure
+            outstanding.discard(index)
+
+        def retry(wid: int, reason: str, detail: str = "") -> None:
+            slot = slots[wid]
+            index, attempt = slot.busy
+            slot.busy = None
+            self._emit("pool_task_retry", task=index, attempt=attempt, reason=reason)
+            if attempt >= self.max_retries:
+                fail(index, attempt + 1, f"{reason} (retry budget exhausted)", detail)
+            else:
+                pending.append((index, attempt + 1))
+
+        try:
+            for wid in range(num_workers):
+                slots[wid] = self._spawn_worker(wid, result_queue)
+            dispatch()
+            while outstanding:
+                try:
+                    message = result_queue.get(timeout=min(self.heartbeat_interval, 0.2))
+                except queue.Empty:
+                    message = None
+                if message is not None:
+                    kind, wid, payload = message
+                    slot = slots.get(wid)
+                    if kind == "hb":
+                        if slot is not None:
+                            slot.last_heartbeat = time.monotonic()
+                    elif kind == "done":
+                        index, attempt, value = payload
+                        # A stale result from a worker we already gave
+                        # up on (e.g. it finished right as the timeout
+                        # fired) must not clobber the retry's slot.
+                        if slot is not None and slot.busy == (index, attempt):
+                            slot.busy = None
+                            slot.last_heartbeat = time.monotonic()
+                            if index in outstanding:
+                                results[index] = value
+                                outstanding.discard(index)
+                                self._emit(
+                                    "pool_task_end",
+                                    task=index,
+                                    attempt=attempt,
+                                    worker=wid,
+                                    duration_s=time.monotonic() - slot.dispatched_at,
+                                )
+                    elif kind == "exc":
+                        index, attempt, detail = payload
+                        if slot is not None and slot.busy == (index, attempt):
+                            slot.busy = None
+                            slot.last_heartbeat = time.monotonic()
+                            if index in outstanding:
+                                fail(index, attempt + 1, "task raised", detail)
+                    elif kind == "init_error":
+                        raise PoolError(f"worker {wid} initializer failed:\n{payload}")
+                now = time.monotonic()
+                for wid, slot in list(slots.items()):
+                    if not slot.process.is_alive():
+                        if slot.busy is not None:
+                            code = slot.process.exitcode
+                            retry(wid, f"worker died (exitcode {code})")
+                        slots[wid] = self._spawn_worker(wid, result_queue)
+                        continue
+                    if slot.busy is None:
+                        continue
+                    elapsed = now - slot.dispatched_at
+                    if self.task_timeout is not None and elapsed > self.task_timeout:
+                        self._kill(slot)
+                        retry(wid, f"timeout after {elapsed:.1f}s")
+                        slots[wid] = self._spawn_worker(wid, result_queue)
+                    elif (
+                        self.heartbeat_timeout is not None
+                        and now - slot.last_heartbeat > self.heartbeat_timeout
+                    ):
+                        self._kill(slot)
+                        retry(wid, f"stalled (no heartbeat for {now - slot.last_heartbeat:.1f}s)")
+                        slots[wid] = self._spawn_worker(wid, result_queue)
+                dispatch()
+        except BaseException:
+            # KeyboardInterrupt included: kill everything before
+            # propagating so no worker outlives the map call.
+            for slot in slots.values():
+                self._kill(slot)
+            raise
+        else:
+            for slot in slots.values():
+                try:
+                    slot.channel.put(None)
+                except (OSError, ValueError):
+                    pass
+            deadline = time.monotonic() + 5.0
+            for slot in slots.values():
+                slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if slot.process.is_alive():
+                    self._kill(slot)
+        finally:
+            result_queue.close()
+            for slot in slots.values():
+                slot.channel.close()
+        return [results[i] for i in range(len(tasks))]

@@ -1,0 +1,88 @@
+"""Deterministic per-task seed derivation and the task context.
+
+Every task a :class:`repro.parallel.WorkerPool` executes gets a seed
+derived *only* from the pool's root seed and the task's index in the
+submitted sequence.  The derivation is a :class:`numpy.random.SeedSequence`
+over the pair, so seeds are
+
+* **stable** — the same (root_seed, task_index) pair always yields the
+  same seed, in any process, on any run (no dependence on ``hash()``
+  or ``PYTHONHASHSEED``);
+* **distinct** — different task indices (or roots) yield different,
+  well-mixed seeds, not ``root + index``; and
+* **placement-independent** — the seed never depends on which worker
+  runs the task, how many workers exist, or in what order tasks finish.
+
+The *task context* (:func:`current_task_seed` et al.) is how task
+functions reach their derived seed without threading it through every
+signature: the pool (or the serial fallback) installs the context
+around each call.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "derive_task_seed",
+    "task_context",
+    "current_task_seed",
+    "current_task_index",
+    "current_task_attempt",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_task_seed(root_seed: int, task_index: int) -> int:
+    """The seed for task ``task_index`` under ``root_seed`` (a uint64).
+
+    Mixing goes through :class:`numpy.random.SeedSequence` so nearby
+    (root, index) pairs land far apart in seed space.
+    """
+    if task_index < 0:
+        raise ValueError(f"task_index must be non-negative, got {task_index}")
+    entropy = [int(root_seed) & _MASK64, int(task_index)]
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
+class _TaskContext(threading.local):
+    """Per-thread record of the task currently executing."""
+
+    index: int | None = None
+    attempt: int | None = None
+    seed: int | None = None
+
+
+_CONTEXT = _TaskContext()
+
+
+@contextmanager
+def task_context(index: int, attempt: int, seed: int) -> Iterator[None]:
+    """Install the ambient task identity around one task execution."""
+    previous = (_CONTEXT.index, _CONTEXT.attempt, _CONTEXT.seed)
+    _CONTEXT.index, _CONTEXT.attempt, _CONTEXT.seed = index, attempt, seed
+    try:
+        yield
+    finally:
+        _CONTEXT.index, _CONTEXT.attempt, _CONTEXT.seed = previous
+
+
+def current_task_seed() -> int | None:
+    """The derived seed of the task currently executing (None outside one)."""
+    return _CONTEXT.seed
+
+
+def current_task_index() -> int | None:
+    """The submission index of the task currently executing."""
+    return _CONTEXT.index
+
+
+def current_task_attempt() -> int | None:
+    """The retry attempt (0 = first try) of the task currently executing."""
+    return _CONTEXT.attempt

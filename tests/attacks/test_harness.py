@@ -85,3 +85,47 @@ class TestBuildAttack:
         box = PlausibilityBox(epsilon_kmh=1.0)
         attack = build_attack(name, victim_model.predictor, victim_model.scalers, box)
         assert attack.name == name
+
+
+class TestEvaluateRobustnessWorkers:
+    """Sharding the epsilon grid must not change any reported number."""
+
+    def test_parallel_matches_serial(self, victim_model, eval_slice):
+        kwargs = dict(attack_name="pgd", epsilons_kmh=[1.0, 2.5, 5.0], seed=0, steps=5)
+        serial = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            workers=1, **kwargs,
+        )
+        parallel = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            workers=3, **kwargs,
+        )
+        assert serial.render() == parallel.render()
+        for ours, theirs in zip(serial.results, parallel.results):
+            assert ours.epsilon_kmh == theirs.epsilon_kmh
+            assert ours.max_abs_delta_kmh == theirs.max_abs_delta_kmh
+            for regime, metrics in ours.attacked.items():
+                for metric, value in metrics.items():
+                    other = theirs.attacked[regime][metric]
+                    # Empty regimes are NaN on both sides; NaN != NaN.
+                    assert value == other or (math.isnan(value) and math.isnan(other))
+
+    def test_parallel_emits_summaries_in_grid_order(
+        self, victim_model, eval_slice, tmp_path
+    ):
+        import json
+
+        with RunRecorder(tmp_path / "run") as recorder:
+            evaluate_robustness(
+                victim_model.predictor, victim_model.scalers, eval_slice,
+                attack_name="fgsm", epsilons_kmh=[1.0, 5.0], recorder=recorder,
+                workers=2,
+            )
+        assert validate_run_dir(tmp_path / "run") == []
+        lines = (tmp_path / "run" / "events.jsonl").read_text().splitlines()
+        epsilons = [
+            json.loads(line)["epsilon"]
+            for line in lines
+            if '"robustness_summary"' in line
+        ]
+        assert epsilons == [1.0, 5.0]

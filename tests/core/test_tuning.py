@@ -82,3 +82,27 @@ class TestGridSearch:
         )
         scores = [e["validation_mape"] for e in result.entries]
         assert scores == sorted(scores)
+
+
+class TestGridSearchWorkers:
+    """The workers flag must change wall-clock shape only, never numbers."""
+
+    def test_parallel_matches_serial(self, tiny_dataset, micro_preset):
+        kwargs = dict(train_grid={"learning_rate": [0.001, 0.01]}, seed=0)
+        serial = grid_search("F", tiny_dataset, micro_preset, workers=1, **kwargs)
+        parallel = grid_search("F", tiny_dataset, micro_preset, workers=2, **kwargs)
+        assert [e["params"] for e in serial.entries] == [
+            e["params"] for e in parallel.entries
+        ]
+        assert [e["validation_mape"] for e in serial.entries] == [
+            e["validation_mape"] for e in parallel.entries
+        ]
+
+    def test_parallel_best_model_predicts_identically(self, tiny_dataset, micro_preset):
+        kwargs = dict(train_grid={"learning_rate": [0.001, 0.01]}, seed=0)
+        serial = grid_search("F", tiny_dataset, micro_preset, workers=1, **kwargs)
+        parallel = grid_search("F", tiny_dataset, micro_preset, workers=2, **kwargs)
+        assert np.array_equal(
+            serial.best_model().predict(tiny_dataset),
+            parallel.best_model().predict(tiny_dataset),
+        )

@@ -57,6 +57,13 @@ class TestValidateEvent:
                 clean_mape=6.5,
                 attacked_mape=8.9,
             ),
+            "pool_task_start": envelope("pool_task_start", task=0, attempt=0, worker=1),
+            "pool_task_end": envelope(
+                "pool_task_end", task=0, attempt=0, worker=1, duration_s=0.25
+            ),
+            "pool_task_retry": envelope(
+                "pool_task_retry", task=0, attempt=0, reason="worker died (exitcode -9)"
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMA)
         for kind, event in samples.items():

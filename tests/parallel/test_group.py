@@ -1,0 +1,87 @@
+"""Tests for :class:`repro.parallel.WorkerGroup` (persistent replicas)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import WorkerGroup, WorkerGroupError
+
+
+class _Counter:
+    """A stateful replica: proves each worker keeps its own state."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, value: int) -> int:
+        self.total += value
+        return self.total
+
+    def pid(self) -> int:
+        return os.getpid()
+
+    def boom(self) -> None:
+        raise ValueError("replica exploded")
+
+    def die(self) -> None:
+        os._exit(41)
+
+
+class _FailingFactory:
+    def __call__(self):
+        raise RuntimeError("cannot build replica")
+
+
+class TestWorkerGroup:
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerGroup(_Counter, 0)
+
+    def test_scatter_gathers_in_worker_order(self):
+        with WorkerGroup(_Counter, 3) as group:
+            assert len(group) == 3
+            assert group.scatter("add", [(1,), (2,), (3,)]) == [1, 2, 3]
+            # State persists per worker across calls.
+            assert group.scatter("add", [(1,), (2,), (3,)]) == [2, 4, 6]
+
+    def test_scatter_subset_uses_first_workers(self):
+        with WorkerGroup(_Counter, 3) as group:
+            assert group.scatter("add", [(5,), (5,)]) == [5, 5]
+            assert group.scatter("add", [(0,), (0,), (0,)]) == [5, 5, 0]
+
+    def test_scatter_rejects_too_many_calls(self):
+        with WorkerGroup(_Counter, 2) as group:
+            with pytest.raises(ValueError, match="calls for"):
+                group.scatter("add", [(1,), (1,), (1,)])
+
+    def test_workers_are_separate_processes(self):
+        with WorkerGroup(_Counter, 2) as group:
+            pids = group.broadcast("pid")
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_replica_exception_surfaces_with_traceback(self):
+        group = WorkerGroup(_Counter, 2)
+        with pytest.raises(WorkerGroupError, match="replica exploded"):
+            group.broadcast("boom")
+        # The group closed itself; further calls must refuse cleanly.
+        with pytest.raises(WorkerGroupError, match="closed"):
+            group.broadcast("pid")
+
+    def test_worker_death_is_an_error_not_a_hang(self):
+        group = WorkerGroup(_Counter, 2)
+        with pytest.raises(WorkerGroupError, match="died mid-call"):
+            group.broadcast("die")
+
+    def test_factory_failure_raises_at_construction(self):
+        with pytest.raises(WorkerGroupError, match="factory failed"):
+            WorkerGroup(_FailingFactory(), 2)
+
+    def test_close_is_idempotent(self):
+        group = WorkerGroup(_Counter, 2)
+        group.close()
+        group.close()
+        with pytest.raises(WorkerGroupError, match="closed"):
+            group.scatter("add", [(1,)])

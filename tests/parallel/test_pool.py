@@ -1,0 +1,202 @@
+"""Tests for the fault-tolerant :class:`repro.parallel.WorkerPool`.
+
+Fault-injection tasks live at module level so they pickle under any
+start method; each keys its misbehaviour off :func:`current_task_attempt`
+so the *retry* of the same task succeeds and the map still completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.obs import RunRecorder, validate_run_dir
+from repro.parallel import PoolError, TaskFailure, WorkerPool, current_task_attempt
+
+_INIT_TOKEN = None
+
+
+def _square(item: int) -> int:
+    return item * item
+
+
+def _raise_on_two(item: int) -> int:
+    if item == 2:
+        raise ValueError(f"rejecting item {item}")
+    return item
+
+
+def _exit_on_first_attempt(item: int) -> int:
+    if item == 1 and current_task_attempt() == 0:
+        os._exit(23)  # hard death: no exception, no result, just a corpse
+    return item * 10
+
+
+def _always_exit(item: int) -> int:
+    os._exit(23)
+
+
+def _slow_on_first_attempt(item: int) -> int:
+    if item == 0 and current_task_attempt() == 0:
+        time.sleep(30.0)
+    return item + 100
+
+
+def _stall_on_first_attempt(item: int) -> int:
+    if item == 0 and current_task_attempt() == 0:
+        # SIGSTOP freezes the whole worker, heartbeat thread included —
+        # the process stays alive, so only stall detection can catch it.
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return item + 7
+
+
+def _set_init_token(value: str) -> None:
+    global _INIT_TOKEN
+    _INIT_TOKEN = value
+
+
+def _read_init_token(_: object) -> str | None:
+    return _INIT_TOKEN
+
+
+def _return_lambda(_: object):
+    return lambda: None
+
+
+class TestMapBasics:
+    def test_results_in_submission_order(self):
+        assert WorkerPool(3).map(_square, range(10)) == [i * i for i in range(10)]
+
+    def test_empty_items(self):
+        assert WorkerPool(3).map(_square, []) == []
+
+    def test_serial_matches_parallel(self):
+        items = list(range(7))
+        assert WorkerPool(1).map(_square, items) == WorkerPool(3).map(_square, items)
+
+    def test_single_task_stays_serial(self):
+        assert WorkerPool(4).map(_square, [6]) == [36]
+
+    def test_more_workers_than_tasks(self):
+        assert WorkerPool(16).map(_square, range(3)) == [0, 1, 4]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(-1)
+        with pytest.raises(ValueError, match="max_retries"):
+            WorkerPool(2, max_retries=-1)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            WorkerPool(2, heartbeat_interval=0.0)
+
+
+class TestTaskExceptions:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_exception_is_terminal_not_retried(self, workers):
+        with pytest.raises(TaskFailure) as excinfo:
+            WorkerPool(workers).map(_raise_on_two, range(5))
+        assert excinfo.value.index == 2
+        assert excinfo.value.attempts == 1
+        assert "rejecting item 2" in excinfo.value.detail
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_return_failures_keeps_other_results(self, workers):
+        results = WorkerPool(workers).map(_raise_on_two, range(5), return_failures=True)
+        assert [r for r in results if not isinstance(r, TaskFailure)] == [0, 1, 3, 4]
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 2
+        assert "task raised" in failure.reason
+
+
+class TestFaultTolerance:
+    def test_worker_death_retries_task(self):
+        results = WorkerPool(2, max_retries=2).map(_exit_on_first_attempt, range(4))
+        assert results == [0, 10, 20, 30]
+
+    def test_retry_budget_exhaustion(self):
+        # Two tasks, not one: a single task would take the serial path
+        # and _always_exit would kill the test process itself.
+        pool = WorkerPool(2, max_retries=1)
+        results = pool.map(_always_exit, [0, 1], return_failures=True)
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert all("retry budget exhausted" in r.reason for r in results)
+        assert all(r.attempts == 2 for r in results)  # 1 try + 1 retry
+
+    def test_timeout_kills_and_retries(self):
+        results = WorkerPool(2, task_timeout=1.0, max_retries=1).map(
+            _slow_on_first_attempt, [0, 1]
+        )
+        assert results == [100, 101]
+
+    def test_heartbeat_stall_detected(self):
+        pool = WorkerPool(
+            2,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=1.0,
+            max_retries=1,
+        )
+        assert pool.map(_stall_on_first_attempt, [0, 1]) == [7, 8]
+
+
+class TestDispatchSafety:
+    def test_unpicklable_task_fails_fast(self):
+        # Queue.put pickles in a feeder thread whose errors vanish; the
+        # pool must pre-flight and raise instead of hanging to timeout.
+        started = time.monotonic()
+        with pytest.raises(PoolError, match="not picklable"):
+            WorkerPool(2).map(lambda x: x, range(4))
+        assert time.monotonic() - started < 10.0
+
+    def test_unpicklable_result_fails_the_task(self):
+        results = WorkerPool(2).map(_return_lambda, range(2), return_failures=True)
+        assert all(isinstance(r, TaskFailure) for r in results)
+
+
+class TestInitializer:
+    def test_runs_inside_each_worker(self):
+        pool = WorkerPool(2, initializer=_set_init_token, initargs=("warm",))
+        assert pool.map(_read_init_token, range(4)) == ["warm"] * 4
+        assert _INIT_TOKEN is None  # parent untouched
+
+    def test_initializer_failure_surfaces(self):
+        # Missing initargs make the initializer raise inside the child;
+        # that must come back as PoolError, not a hang.
+        pool = WorkerPool(2, initializer=_set_init_token, initargs=())
+        with pytest.raises(PoolError, match="initializer failed"):
+            pool.map(_read_init_token, range(4))
+
+
+class TestObservability:
+    def test_events_emitted_and_schema_valid(self, tmp_path):
+        recorder = RunRecorder(str(tmp_path), manifest={"tool": "test_pool"})
+        pool = WorkerPool(2, max_retries=2, recorder=recorder)
+        pool.map(_exit_on_first_attempt, range(4))
+        recorder.close()
+
+        assert validate_run_dir(str(tmp_path)) == []
+        with open(tmp_path / "events.jsonl", encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("pool_task_end") == 4
+        assert kinds.count("pool_task_retry") >= 1
+        # Every attempt opens with a start; retried attempts close with
+        # a retry event, final attempts with an end.
+        assert kinds.count("pool_task_start") == kinds.count("pool_task_end") + kinds.count(
+            "pool_task_retry"
+        )
+        ends = [e for e in events if e["kind"] == "pool_task_end"]
+        assert sorted(e["task"] for e in ends) == [0, 1, 2, 3]
+        assert all(e["duration_s"] >= 0 for e in ends)
+
+    def test_serial_path_emits_events_too(self, tmp_path):
+        recorder = RunRecorder(str(tmp_path), manifest={"tool": "test_pool"})
+        WorkerPool(1, recorder=recorder).map(_square, range(3))
+        recorder.close()
+        with open(tmp_path / "events.jsonl", encoding="utf-8") as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert kinds.count("pool_task_start") == 3
+        assert kinds.count("pool_task_end") == 3

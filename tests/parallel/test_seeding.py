@@ -1,0 +1,138 @@
+"""Property tests for deterministic per-task seed derivation.
+
+The contract (seeding.py): a task's seed depends on the pool's root
+seed and the task's submission index, and on nothing else — not the
+process computing it, not the worker count, not completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.parallel import (
+    current_task_attempt,
+    current_task_index,
+    current_task_seed,
+    derive_task_seed,
+    parallel_map,
+    task_context,
+)
+
+#: Frozen (root_seed, task_index) -> seed pairs.  These values are part
+#: of the reproducibility contract: changing the derivation silently
+#: re-seeds every parallel sweep, so a change here must be deliberate.
+PINNED = {
+    (0, 0): 15793235383387715774,
+    (0, 1): 5836529245451711556,
+    (0, 2): 17195319236771816063,
+    (2018, 0): 14667151931722001445,
+    (2018, 7): 1442513495114336774,
+    (123456789, 3): 7502871620069563371,
+}
+
+
+def _seed_in_subprocess(root: int, index: int, out) -> None:
+    out.put(derive_task_seed(root, index))
+
+
+def _ambient_seed(_: object) -> tuple:
+    return (current_task_index(), current_task_seed())
+
+
+def _ambient_seed_jittered(item: int) -> tuple:
+    # Earlier tasks sleep longer, so completion order inverts submission
+    # order — the seeds must not care.
+    time.sleep(0.05 * (3 - item % 4))
+    return (current_task_index(), current_task_seed())
+
+
+class TestDeriveTaskSeed:
+    def test_pinned_values(self):
+        for (root, index), expected in PINNED.items():
+            assert derive_task_seed(root, index) == expected
+
+    def test_stable_across_calls(self):
+        assert derive_task_seed(7, 42) == derive_task_seed(7, 42)
+
+    def test_stable_across_processes(self):
+        ctx = mp.get_context()
+        out = ctx.Queue()
+        process = ctx.Process(target=_seed_in_subprocess, args=(2018, 7, out))
+        process.start()
+        try:
+            assert out.get(timeout=30) == derive_task_seed(2018, 7)
+        finally:
+            process.join(timeout=10)
+
+    def test_distinct_across_indices(self):
+        seeds = [derive_task_seed(0, i) for i in range(200)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_distinct_across_roots(self):
+        seeds = {derive_task_seed(root, 0) for root in range(100)}
+        assert len(seeds) == 100
+
+    def test_not_a_trivial_offset(self):
+        # SeedSequence mixing, not root + index: neighbours land far apart.
+        assert derive_task_seed(0, 1) != derive_task_seed(0, 0) + 1
+        assert derive_task_seed(1, 0) != derive_task_seed(0, 0) + 1
+
+    def test_fits_uint64(self):
+        for index in range(50):
+            assert 0 <= derive_task_seed(999, index) < 2**64
+
+    def test_negative_root_is_masked_not_rejected(self):
+        assert 0 <= derive_task_seed(-1, 0) < 2**64
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="task_index"):
+            derive_task_seed(0, -1)
+
+
+class TestPlacementIndependence:
+    def test_seeds_independent_of_worker_count(self):
+        items = list(range(8))
+        serial = parallel_map(_ambient_seed, items, workers=1, root_seed=2018)
+        three = parallel_map(_ambient_seed, items, workers=3, root_seed=2018)
+        assert serial == three
+        assert [index for index, _ in serial] == items
+
+    def test_seeds_independent_of_completion_order(self):
+        items = list(range(8))
+        expected = [(i, derive_task_seed(5, i)) for i in items]
+        shuffled = parallel_map(_ambient_seed_jittered, items, workers=4, root_seed=5)
+        assert shuffled == expected
+
+    def test_seed_matches_derivation(self):
+        results = parallel_map(_ambient_seed, range(4), workers=2, root_seed=11)
+        assert results == [(i, derive_task_seed(11, i)) for i in range(4)]
+
+
+class TestTaskContext:
+    def test_empty_outside_any_task(self):
+        assert current_task_seed() is None
+        assert current_task_index() is None
+        assert current_task_attempt() is None
+
+    def test_installed_and_restored(self):
+        with task_context(3, 1, 77):
+            assert current_task_index() == 3
+            assert current_task_attempt() == 1
+            assert current_task_seed() == 77
+        assert current_task_seed() is None
+
+    def test_nested_contexts_restore_outer(self):
+        with task_context(1, 0, 10):
+            with task_context(2, 0, 20):
+                assert current_task_index() == 2
+            assert current_task_index() == 1
+            assert current_task_seed() == 10
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with task_context(1, 0, 10):
+                raise RuntimeError("boom")
+        assert current_task_seed() is None

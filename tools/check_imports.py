@@ -19,6 +19,11 @@ serving path deployable without dragging the offline experiment harness
 * ``repro.obs``      must not import anything above ``repro.nn`` — every
   layer instruments itself with obs, so obs depending on a higher layer
   would be a cycle
+* ``repro.parallel`` may import only ``repro.obs`` (it ships arbitrary
+  picklable work, so depending on any compute layer would be a cycle);
+  of the compute layers only ``core`` / ``attacks`` / ``experiments``
+  (and tools) may import ``repro.parallel`` — the serving path stays
+  single-process and the low layers stay substrate-free
 
 Run directly or via ``tools/ci.sh``::
 
@@ -35,7 +40,12 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 
 #: layer prefix -> package prefixes it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "repro.serving": ("repro.experiments", "repro.baselines", "repro.attacks"),
+    "repro.serving": (
+        "repro.experiments",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.parallel",
+    ),
     "repro.attacks": (
         "repro.data",
         "repro.traffic",
@@ -43,7 +53,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.experiments",
         "repro.baselines",
     ),
-    "repro.data": ("repro.core", "repro.serving", "repro.experiments"),
+    "repro.data": ("repro.core", "repro.serving", "repro.experiments", "repro.parallel"),
     "repro.nn": (
         "repro.core",
         "repro.data",
@@ -52,6 +62,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.traffic",
         "repro.baselines",
         "repro.obs",
+        "repro.parallel",
     ),
     "repro.obs": (
         "repro.core",
@@ -60,6 +71,19 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.experiments",
         "repro.traffic",
         "repro.baselines",
+        "repro.parallel",
+    ),
+    "repro.parallel": (
+        "repro.core",
+        "repro.data",
+        "repro.serving",
+        "repro.experiments",
+        "repro.traffic",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.nn",
+        "repro.metrics",
+        "repro.routing",
     ),
 }
 

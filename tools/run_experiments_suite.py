@@ -1,62 +1,184 @@
 """Run the full medium-scale experiment suite and dump raw renders.
 
-Order matters: table3 populates the model cache that fig4/fig5/fig6
-reuse.  Table II runs at a reduced adversarial budget (documented in
-EXPERIMENTS.md) because it needs 8 adversarial Hybrid trainings.
+Order matters for the serial stage: table3 populates the in-process
+model cache that fig4/fig5/fig6 reuse.  Table II runs at a reduced
+adversarial budget (documented in EXPERIMENTS.md) because it needs 8
+adversarial Hybrid trainings.
 
-Usage: python tools/run_experiments_suite.py [output-file] [preset]
+With ``--workers N`` the experiments *after* the cache-populating
+stage run across N processes via :func:`repro.parallel.parallel_map`.
+The workers fork after table3 finishes, so they inherit its model
+cache; each experiment renders inside its worker and the parent writes
+the renders in the same canonical order as a serial run.  With the
+default ``--workers 1`` nothing forks and every experiment runs in the
+parent exactly as before, producing identical renders.
+
+A failing experiment no longer aborts the suite: its traceback is
+captured, the remaining experiments still run, a pass/fail table is
+printed at the end, and only then does the process exit non-zero.
+
+Usage: python tools/run_experiments_suite.py [output-file] [preset] [--workers N]
 """
 
+from __future__ import annotations
+
+import argparse
 import dataclasses
 import sys
 import time
+import traceback
 
 from repro.core.config import PRESETS
 from repro.experiments import ablations, fig1, fig4, fig5, fig6, table2, table3
+from repro.parallel import parallel_map
 
-OUT = sys.argv[1] if len(sys.argv) > 1 else "experiments_raw.txt"
-PRESET = sys.argv[2] if len(sys.argv) > 2 else "medium"
+#: Stage A runs serially, in order: fig1 first (cheap smoke of the
+#: pipeline), then table3, which trains the model grid every later
+#: artefact reads from the cache.
+STAGE_A = ("fig1", "table3")
+
+#: Stage B experiments only *read* the table3 cache (or train their own
+#: private variants) and are independent of each other, so they may run
+#: in any order — or in parallel.
+STAGE_B = (
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "ablation_loss_ratio",
+    "ablation_disc_input",
+    "ablation_conditioning",
+    "ablation_adjacency",
+    "ablation_horizon",
+)
+
+#: name -> (runner, kwargs). Filled by :func:`_build_suite` (needs the
+#: CLI preset); module-level so forked workers inherit it.
+_SUITE: dict = {}
 
 
-def main() -> None:
-    stream = open(OUT, "w", buffering=1)
+def _build_suite(preset) -> None:
+    table2_preset = (
+        dataclasses.replace(PRESETS[preset], adversarial_epochs=6)
+        if preset in PRESETS
+        else preset
+    )
+    _SUITE.update(
+        {
+            "fig1": (fig1.run, {"preset": preset}),
+            "table3": (table3.run, {"preset": preset}),
+            "fig4": (fig4.run, {"preset": preset}),
+            "fig5": (fig5.run, {"preset": preset}),
+            "fig6": (fig6.run, {"preset": preset}),
+            "table2": (table2.run, {"preset": table2_preset}),
+            "ablation_loss_ratio": (ablations.loss_ratio_ablation, {"preset": preset}),
+            "ablation_disc_input": (ablations.discriminator_input_ablation, {"preset": preset}),
+            "ablation_conditioning": (ablations.conditioning_ablation, {"preset": preset}),
+            "ablation_adjacency": (ablations.adjacency_ablation, {"preset": preset}),
+            "ablation_horizon": (ablations.horizon_ablation, {"preset": preset}),
+        }
+    )
+
+
+def _run_one(name: str) -> tuple[str, str | None, str | None, float]:
+    """Run one experiment; never raises.
+
+    Returns ``(name, rendered text, error traceback, seconds)`` —
+    rendering happens here (worker side) so only strings cross the
+    process boundary, keeping the parallel path pickling-proof.
+    """
+    runner, kwargs = _SUITE[name]
+    started = time.perf_counter()
+    try:
+        result = runner(**kwargs)
+        rendered = result.render()
+    except Exception:
+        return name, None, traceback.format_exc(), time.perf_counter() - started
+    return name, rendered, None, time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="experiments_raw.txt")
+    parser.add_argument("preset", nargs="?", default="medium")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for the post-table3 experiments (default 1 = serial)",
+    )
+    args = parser.parse_args(argv)
+    _build_suite(args.preset)
+
+    stream = open(args.output, "w", buffering=1)
     started = time.time()
+    outcomes: dict[str, tuple[str | None, float]] = {}  # name -> (error, seconds)
+    table3_result = None
 
     def emit(text: str) -> None:
         stamp = time.time() - started
         stream.write(f"\n===== [{stamp:7.1f}s] {text}\n")
         print(f"[{stamp:7.1f}s] {text}", flush=True)
 
-    def run(name, func, **kwargs):
+    def record(name: str, rendered: str | None, error: str | None, seconds: float) -> None:
+        emit(f"RESULT {name}" if error is None else f"FAILED {name}")
+        stream.write((rendered if error is None else error) + "\n")
+        outcomes[name] = (error, seconds)
+
+    for name in STAGE_A:
         emit(f"BEGIN {name}")
-        result = func(preset=kwargs.pop("preset", PRESET), **kwargs)
-        emit(f"RESULT {name}")
-        stream.write(result.render() + "\n")
-        return result
+        runner, kwargs = _SUITE[name]
+        stage_started = time.perf_counter()
+        try:
+            result = runner(**kwargs)
+            rendered, error = result.render(), None
+        except Exception:
+            result, rendered, error = None, None, traceback.format_exc()
+        record(name, rendered, error, time.perf_counter() - stage_started)
+        if name == "table3":
+            # Keep the object: the t-tests below need it, not its render.
+            table3_result = result
 
-    run("fig1", fig1.run)
-    t3 = run("table3", table3.run)
-    run("fig4", fig4.run)
-    run("fig5", fig5.run)
-    run("fig6", fig6.run)
+    if args.workers > 1:
+        emit(f"BEGIN stage B ({len(STAGE_B)} experiments, workers={args.workers})")
+        stage_b = parallel_map(_run_one, STAGE_B, workers=args.workers, return_failures=True)
+        for name, finished in zip(STAGE_B, stage_b):
+            if isinstance(finished, tuple):
+                record(*finished)
+            else:  # TaskFailure: the worker itself died repeatedly
+                record(name, None, str(finished), 0.0)
+    else:
+        for name in STAGE_B:
+            emit(f"BEGIN {name}")
+            _, rendered, error, seconds = _run_one(name)
+            record(name, rendered, error, seconds)
 
-    table2_preset = dataclasses.replace(PRESETS[PRESET], adversarial_epochs=6) \
-        if PRESET in PRESETS else PRESET
-    run("table2", table2.run, preset=table2_preset)
+    if table3_result is not None:
+        emit("extra: t-tests and best model")
+        stream.write(f"adversarial t-test: {table3_result.adversarial_t_test()}\n")
+        stream.write(f"additional-data t-test: {table3_result.additional_data_t_test()}\n")
+        stream.write(f"best model: {table3_result.best_model()}\n")
+    else:
+        emit("extra: skipped (table3 failed)")
 
-    run("ablation_loss_ratio", ablations.loss_ratio_ablation)
-    run("ablation_disc_input", ablations.discriminator_input_ablation)
-    run("ablation_conditioning", ablations.conditioning_ablation)
-    run("ablation_adjacency", ablations.adjacency_ablation)
-    run("ablation_horizon", ablations.horizon_ablation)
-
-    emit("extra: t-tests and best model")
-    stream.write(f"adversarial t-test: {t3.adversarial_t_test()}\n")
-    stream.write(f"additional-data t-test: {t3.additional_data_t_test()}\n")
-    stream.write(f"best model: {t3.best_model()}\n")
+    failures = [name for name, (error, _) in outcomes.items() if error is not None]
+    emit("SUMMARY")
+    lines = ["experiment              status      time"]
+    for name, (error, seconds) in outcomes.items():
+        status = "ok" if error is None else "FAIL"
+        lines.append(f"{name:22s}  {status:6s}  {seconds:7.1f}s")
+    lines.append(
+        f"{len(outcomes) - len(failures)}/{len(outcomes)} experiments passed"
+        + (f"; FAILED: {', '.join(failures)}" if failures else "")
+    )
+    table = "\n".join(lines)
+    stream.write(table + "\n")
+    print(table, flush=True)
     emit("DONE")
     stream.close()
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
