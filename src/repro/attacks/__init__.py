@@ -18,8 +18,11 @@ answers it end to end:
   :class:`PerturbationGate` (the only module ``repro.serving`` may
   import from here).
 
-Layering: may import ``nn`` / ``core`` / ``metrics`` / ``obs``; never
-``data`` / ``traffic`` / ``serving`` / ``experiments``.
+Layering: may import ``nn`` / ``metrics`` / ``obs`` / ``parallel``;
+never ``core`` / ``data`` / ``traffic`` / ``serving`` /
+``experiments``.  (``core`` sits *above* this package since
+:mod:`repro.core.adversarial_training` reuses the attack primitives for
+input-space adversarial training — see ``tools/check_imports.py``.)
 """
 
 from .base import Attack, AttackResult, flatten_windows, speed_rows_kmh, with_speed_rows
@@ -27,7 +30,13 @@ from .blackbox import RandomNoiseAttack, SPSAAttack
 from .constraints import MAX_PLAUSIBLE_SPEED_KMH, PlausibilityBox
 from .defense import GateConfig, GateDecision, PerturbationGate
 from .gradients import InputGradient, input_gradient
-from .harness import ATTACK_NAMES, EvalSlice, build_attack, evaluate_robustness
+from .harness import (
+    ATTACK_NAMES,
+    EvalSlice,
+    SweepShardError,
+    build_attack,
+    evaluate_robustness,
+)
 from .report import EpsilonResult, RobustnessReport
 from .whitebox import FGSMAttack, PGDAttack
 
@@ -48,6 +57,7 @@ __all__ = [
     "input_gradient",
     "ATTACK_NAMES",
     "EvalSlice",
+    "SweepShardError",
     "build_attack",
     "evaluate_robustness",
     "EpsilonResult",

@@ -17,14 +17,41 @@ import numpy as np
 
 from ..metrics.errors import all_errors
 from ..metrics.regimes import classify_regimes
-from ..parallel import parallel_map
+from ..parallel import TaskFailure, parallel_map
 from .base import Attack, flatten_windows
 from .blackbox import RandomNoiseAttack, SPSAAttack
 from .constraints import PlausibilityBox
 from .report import EpsilonResult, RobustnessReport
 from .whitebox import FGSMAttack, PGDAttack
 
-__all__ = ["ATTACK_NAMES", "EvalSlice", "build_attack", "evaluate_robustness"]
+__all__ = [
+    "ATTACK_NAMES",
+    "EvalSlice",
+    "SweepShardError",
+    "build_attack",
+    "evaluate_robustness",
+]
+
+
+class SweepShardError(RuntimeError):
+    """A parallel sweep shard failed, annotated with its grid point.
+
+    The worker pool reports failures by task index, which is meaningless
+    to someone staring at a robustness sweep; this wraps the underlying
+    :class:`repro.parallel.TaskFailure` with the attack name and the
+    epsilon the shard was evaluating.  The original failure stays
+    reachable as :attr:`failure` (and as ``__cause__``).
+    """
+
+    def __init__(self, attack: str, epsilon_kmh: float, failure: TaskFailure):
+        super().__init__(
+            f"robustness sweep shard failed for attack={attack!r} at "
+            f"epsilon={epsilon_kmh:g} km/h (after {failure.attempts} "
+            f"attempt(s)): {failure.reason}"
+        )
+        self.attack = attack
+        self.epsilon_kmh = float(epsilon_kmh)
+        self.failure = failure
 
 #: Attack ids accepted by :func:`build_attack` and the robustness CLI.
 ATTACK_NAMES = ("fgsm", "pgd", "spsa", "random")
@@ -168,14 +195,22 @@ def evaluate_robustness(
             eval_slice.targets_kmh, eval_slice.last_input_kmh, masks,
             attack_name, max_step_kmh, seed, attack_kwargs,
         )
-        shard_results = parallel_map(
-            _sweep_one_epsilon,
-            [float(epsilon) for epsilon in epsilons_kmh],
-            workers=workers,
-            root_seed=seed,
-            initializer=_init_sweep_worker,
-            initargs=initargs,
-        )
+        try:
+            shard_results = parallel_map(
+                _sweep_one_epsilon,
+                [float(epsilon) for epsilon in epsilons_kmh],
+                workers=workers,
+                root_seed=seed,
+                initializer=_init_sweep_worker,
+                initargs=initargs,
+            )
+        except TaskFailure as failure:
+            # The pool reports a bare task index; re-raise with the grid
+            # point the shard was evaluating so the operator sees which
+            # attack/epsilon blew up, not "task 2 failed".
+            raise SweepShardError(
+                attack_name, float(epsilons_kmh[failure.index]), failure
+            ) from failure
         for epsilon, (name, max_abs_delta, adv_by_regime) in zip(epsilons_kmh, shard_results):
             result = EpsilonResult(
                 attack=name,

@@ -1,6 +1,7 @@
 """``repro.core`` — the APOTS model: predictors, discriminator, training."""
 
 from .adversarial import AdversarialHistory, APOTSTrainer
+from .adversarial_training import AdversarialAugmenter, AugmentInfo
 from .config import PRESETS, ModelSpec, ScalePreset, TrainSpec, table1_spec
 from .data_parallel import DataParallelTrainer
 from .discriminator import Discriminator
@@ -19,6 +20,8 @@ from .zoo import load_model, save_model
 
 __all__ = [
     "AdversarialHistory",
+    "AdversarialAugmenter",
+    "AugmentInfo",
     "APOTSTrainer",
     "PRESETS",
     "ModelSpec",

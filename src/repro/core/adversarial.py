@@ -90,6 +90,20 @@ class APOTSTrainer:
         self.bce = nn.BCEWithLogitsLoss()
         self.mse = nn.MSELoss()
 
+    def _make_augmenter(self, dataset: TrafficDataset):
+        """The input-space adversarial augmenter, or None when disabled.
+
+        Imported lazily so the default ``robust_fraction=0.0`` path
+        never touches :mod:`repro.attacks` at all.
+        """
+        if self.spec.robust_fraction <= 0.0:
+            return None
+        from .adversarial_training import AdversarialAugmenter
+
+        return AdversarialAugmenter.from_spec(
+            self.predictor, dataset.features.scalers, self.spec
+        )
+
     # ------------------------------------------------------------------
     def _predict_sequences(self, batch: RolloutBatch, alpha: int) -> tuple[nn.Tensor, nn.Tensor]:
         """Roll P over each anchor's alpha windows.
@@ -195,6 +209,7 @@ class APOTSTrainer:
         history = AdversarialHistory()
         self.predictor.train()
         self.discriminator.train()
+        augmenter = self._make_augmenter(dataset)
 
         global_step = 0
         for epoch in range(self.spec.epochs):
@@ -206,6 +221,33 @@ class APOTSTrainer:
                 if self.spec.max_steps_per_epoch is not None and step >= self.spec.max_steps_per_epoch:
                     break
                 batch = dataset.rollout_batch(anchor_indices)
+                if augmenter is not None:
+                    # Both D and P then see the same mixed batch: D judges
+                    # sequences predicted from attacked inputs as "fake",
+                    # exactly the samples P must learn to make realistic.
+                    with section("adv_augment"):
+                        batch, aug = augmenter.augment_rollout(
+                            batch, alpha, epoch=epoch, step=global_step
+                        )
+                    if aug.num_perturbed > 0:
+                        if monitor is not None:
+                            monitor.observe_robust(
+                                global_step,
+                                clean_loss=aug.clean_loss,
+                                robust_loss=aug.robust_loss,
+                            )
+                        if rec is not None:
+                            rec.event(
+                                "adv_train_step",
+                                epoch=epoch,
+                                step=step,
+                                epsilon=aug.epsilon_kmh,
+                                num_perturbed=aug.num_perturbed,
+                                num_samples=aug.num_samples,
+                                clean_loss=aug.clean_loss,
+                                robust_loss=aug.robust_loss,
+                                max_abs_delta_kmh=aug.max_abs_delta_kmh,
+                            )
                 for _ in range(self.spec.discriminator_steps):
                     with section("d_step"):
                         d_loss, real_prob, fake_prob, d_norm = self._discriminator_step(

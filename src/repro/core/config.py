@@ -24,7 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["PredictorKind", "ModelSpec", "TrainSpec", "ScalePreset", "PRESETS", "table1_spec"]
+__all__ = [
+    "PredictorKind",
+    "ModelSpec",
+    "TrainSpec",
+    "ScalePreset",
+    "PRESETS",
+    "EPSILON_SCHEDULES",
+    "TRAIN_ATTACKS",
+    "table1_spec",
+]
 
 #: Valid predictor identifiers, named as in the paper.
 PredictorKind = str  # "F" | "L" | "C" | "H" | "A" (attention extension)
@@ -67,9 +76,22 @@ class ModelSpec:
         )
 
 
+#: Valid ``TrainSpec.epsilon_schedule`` values for adversarial training.
+EPSILON_SCHEDULES = ("constant", "linear")
+
+#: Attacks usable at *training* time (evaluation sweeps support more).
+TRAIN_ATTACKS = ("fgsm", "pgd")
+
+
 @dataclass(frozen=True)
 class TrainSpec:
-    """Optimisation settings (paper: Adam, lr = 0.001)."""
+    """Optimisation settings (paper: Adam, lr = 0.001).
+
+    The ``robust_*`` / ``adv_epsilon_*`` fields configure input-space
+    adversarial training (see :mod:`repro.core.adversarial_training`);
+    the default ``robust_fraction=0.0`` disables it entirely and keeps
+    training bitwise-identical to the pre-augmenter behaviour.
+    """
 
     learning_rate: float = 0.001
     epochs: int = 20
@@ -82,6 +104,12 @@ class TrainSpec:
     saturating_adv_loss: bool = False  # paper writes log(1-D); non-saturating trains better
     max_steps_per_epoch: int | None = None  # subsample batches for speed
     early_stopping_patience: int | None = None  # epochs without val improvement
+    robust_fraction: float = 0.0  # fraction of each batch perturbed adversarially
+    adv_epsilon_kmh: float = 5.0  # training-time L-inf budget (km/h)
+    epsilon_schedule: str = "constant"  # "constant" | "linear" warm-up
+    adv_attack: str = "fgsm"  # "fgsm" | "pgd"
+    adv_pgd_steps: int = 3
+    adv_max_step_kmh: float | None = 10.0  # plausibility per-tick rate bound
     seed: int = 0
 
     def __post_init__(self):
@@ -89,6 +117,22 @@ class TrainSpec:
             raise ValueError("learning_rate must be positive")
         if self.epochs <= 0 or self.batch_size <= 0 or self.adversarial_batch_size <= 0:
             raise ValueError("epochs and batch sizes must be positive")
+        if not 0.0 <= self.robust_fraction <= 1.0:
+            raise ValueError(f"robust_fraction must be in [0, 1], got {self.robust_fraction}")
+        if self.adv_epsilon_kmh <= 0:
+            raise ValueError(f"adv_epsilon_kmh must be positive, got {self.adv_epsilon_kmh}")
+        if self.epsilon_schedule not in EPSILON_SCHEDULES:
+            raise ValueError(
+                f"unknown epsilon_schedule {self.epsilon_schedule!r}; have {EPSILON_SCHEDULES}"
+            )
+        if self.adv_attack not in TRAIN_ATTACKS:
+            raise ValueError(f"unknown adv_attack {self.adv_attack!r}; have {TRAIN_ATTACKS}")
+        if self.adv_pgd_steps < 1:
+            raise ValueError(f"adv_pgd_steps must be >= 1, got {self.adv_pgd_steps}")
+        if self.adv_max_step_kmh is not None and self.adv_max_step_kmh <= 0:
+            raise ValueError(
+                f"adv_max_step_kmh must be positive or None, got {self.adv_max_step_kmh}"
+            )
 
 
 @dataclass(frozen=True)

@@ -42,13 +42,33 @@ class TrainHistory:
 
 
 class SupervisedTrainer:
-    """Adam + MSE trainer for any :class:`Predictor`."""
+    """Adam + MSE trainer for any :class:`Predictor`.
+
+    With ``spec.robust_fraction > 0`` each minibatch is adversarially
+    augmented in place before the optimiser step (see
+    :mod:`repro.core.adversarial_training`); the default 0.0 keeps
+    training bitwise-identical to the augmenter-free behaviour.
+    """
 
     def __init__(self, predictor: Predictor, spec: TrainSpec | None = None):
         self.predictor = predictor
         self.spec = spec if spec is not None else TrainSpec()
         self.optimizer = nn.Adam(predictor.parameters(), lr=self.spec.learning_rate)
         self.loss_fn = nn.MSELoss()
+
+    def _make_augmenter(self, dataset: TrafficDataset):
+        """The input-space adversarial augmenter, or None when disabled.
+
+        Imported lazily so the default ``robust_fraction=0.0`` path
+        never touches :mod:`repro.attacks` at all.
+        """
+        if self.spec.robust_fraction <= 0.0:
+            return None
+        from .adversarial_training import AdversarialAugmenter
+
+        return AdversarialAugmenter.from_spec(
+            self.predictor, dataset.features.scalers, self.spec
+        )
 
     def _train_step(self, batch) -> tuple[float, float]:
         """One optimiser update over ``batch``; returns (loss, grad norm).
@@ -102,11 +122,39 @@ class SupervisedTrainer:
         best_state = None
         stale_epochs = 0
         self.predictor.train()
+        augmenter = self._make_augmenter(dataset)
         global_step = 0
         for epoch in range(self.spec.epochs):
             losses = []
             grad_norms = []
             for step, batch in enumerate(self._epoch_batches(dataset, rng)):
+                if augmenter is not None:
+                    # Augmentation runs here in the parent — before any
+                    # sharding a subclass does — so the perturbed batch
+                    # is identical under every worker count.
+                    with section("adv_augment"):
+                        batch, aug = augmenter.augment_batch(
+                            batch, epoch=epoch, step=global_step
+                        )
+                    if aug.num_perturbed > 0:
+                        if monitor is not None:
+                            monitor.observe_robust(
+                                global_step,
+                                clean_loss=aug.clean_loss,
+                                robust_loss=aug.robust_loss,
+                            )
+                        if rec is not None:
+                            rec.event(
+                                "adv_train_step",
+                                epoch=epoch,
+                                step=step,
+                                epsilon=aug.epsilon_kmh,
+                                num_perturbed=aug.num_perturbed,
+                                num_samples=aug.num_samples,
+                                clean_loss=aug.clean_loss,
+                                robust_loss=aug.robust_loss,
+                                max_abs_delta_kmh=aug.max_abs_delta_kmh,
+                            )
                 with section("train_step"):
                     loss_value, grad_norm = self._train_step(batch)
                 losses.append(loss_value)

@@ -1,0 +1,204 @@
+"""Adversarial re-training experiment: paired robustness sweep.
+
+Closes the loop the ``robustness`` experiment opened: it showed APOTS
+is soft against input-space perturbations, so here we re-train with
+:mod:`repro.core.adversarial_training` mixed batches and measure what
+that bought.  The protocol:
+
+1. Train a **baseline** model with the preset's plain spec
+   (``robust_fraction = 0``).
+2. Train a **hardened** model from the *same* weight-init seed with
+   ``robust_fraction`` of each minibatch adversarially perturbed
+   (FGSM by default — one extra gradient per batch).
+3. Run the identical PR 3 robustness sweep (same eval slice, epsilon
+   grid, attack and seed; ``--workers`` shards it via
+   ``repro.parallel``) against **both** models and report the paired
+   delta per epsilon, plus the clean-accuracy price of hardening.
+
+The evaluation attack deliberately defaults to PGD while training uses
+FGSM: robustness that only holds against the attack trained on is
+overfitting to the attacker, not robustness (Poudel & Li,
+arXiv:2110.08712, show attacks transfer — so must defenses).  With a
+recorder attached the experiment emits one ``robustness_delta`` event
+per swept epsilon on top of the sweeps' own ``robustness_summary``
+events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..attacks import EvalSlice, evaluate_robustness
+from ..attacks.report import RobustnessReport
+from ..core.model import APOTS
+from ..obs import current_recorder
+from .robustness import _MAX_SAMPLES
+from .scenario import DEFAULT_SEED, make_dataset, resolve_preset
+
+__all__ = ["run", "EpsilonDelta", "AdvTrainResult"]
+
+
+@dataclass(frozen=True)
+class EpsilonDelta:
+    """Before/after whole-regime errors at one swept epsilon."""
+
+    epsilon_kmh: float
+    attacked_mae_before: float
+    attacked_mae_after: float
+    clean_mae_before: float
+    clean_mae_after: float
+
+    @property
+    def improved(self) -> bool:
+        """Did hardening reduce (or hold) the attacked MAE here?"""
+        return self.attacked_mae_after <= self.attacked_mae_before
+
+
+@dataclass(frozen=True)
+class AdvTrainResult:
+    """Paired sweep reports plus the per-epsilon deltas."""
+
+    before: RobustnessReport
+    after: RobustnessReport
+    deltas: list[EpsilonDelta]
+    eval_attack: str
+    train_attack: str
+    epsilon_kmh: float
+    robust_fraction: float
+
+    @property
+    def all_improved(self) -> bool:
+        """Attacked MAE no worse after hardening at every epsilon."""
+        return all(delta.improved for delta in self.deltas)
+
+    @property
+    def clean_degradation(self) -> float:
+        """Relative clean-MAE increase paid for hardening (0.1 = +10%)."""
+        before = self.deltas[0].clean_mae_before
+        return self.deltas[0].clean_mae_after / before - 1.0 if before > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"Adversarial re-training ({self.before.model}): "
+            f"train attack {self.train_attack} at eps={self.epsilon_kmh:g} km/h "
+            f"on {self.robust_fraction:.0%} of each batch, "
+            f"evaluated against {self.eval_attack}",
+            "",
+            f"{'eps (km/h)':>10s} {'attacked MAE before':>20s} "
+            f"{'attacked MAE after':>19s} {'delta':>8s}",
+        ]
+        for delta in self.deltas:
+            change = delta.attacked_mae_after - delta.attacked_mae_before
+            lines.append(
+                f"{delta.epsilon_kmh:10.2f} {delta.attacked_mae_before:20.3f} "
+                f"{delta.attacked_mae_after:19.3f} {change:+8.3f}"
+            )
+        lines.append(
+            f"\nclean MAE: {self.deltas[0].clean_mae_before:.3f} -> "
+            f"{self.deltas[0].clean_mae_after:.3f} "
+            f"({self.clean_degradation:+.1%} hardening cost)"
+        )
+        lines.append(
+            "hardening verdict: "
+            + ("attacked MAE improved at every swept epsilon"
+               if self.all_improved
+               else "attacked MAE REGRESSED at some epsilon")
+        )
+        return "\n".join(lines)
+
+
+def _sweep(model, eval_slice, attack, epsilons, recorder, seed, workers) -> RobustnessReport:
+    return evaluate_robustness(
+        model.predictor,
+        model.scalers,
+        eval_slice,
+        attack_name=attack,
+        epsilons_kmh=epsilons,
+        model_name=model.name,
+        recorder=recorder,
+        seed=seed,
+        workers=workers,
+    )
+
+
+def run(
+    preset: str = "medium",
+    seed: int = DEFAULT_SEED,
+    attack: str = "pgd",
+    epsilon: float = 5.0,
+    workers: int = 1,
+    robust_fraction: float = 0.5,
+    train_attack: str = "fgsm",
+    kind: str = "F",
+    adversarial: bool = False,
+) -> AdvTrainResult:
+    """Run the paired before/after robustness sweep (CLI: ``adv_train``).
+
+    ``attack``/``epsilon`` configure the *evaluation* sweep (as in the
+    ``robustness`` experiment); ``train_attack``/``robust_fraction``
+    configure the hardening.  ``adversarial=True`` hardens the full
+    GAN-trained model instead of the supervised predictor (slower).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive (km/h)")
+    preset = resolve_preset(preset)
+    recorder = current_recorder()
+    dataset = make_dataset(preset, seed=seed)
+
+    base_spec = preset.train_spec(adversarial=adversarial, seed=seed)
+    hard_spec = replace(
+        base_spec,
+        robust_fraction=robust_fraction,
+        adv_epsilon_kmh=epsilon,
+        adv_attack=train_attack,
+    )
+    # Same constructor seed: identical weight init, so the paired delta
+    # isolates the effect of the mixed batches.
+    baseline = APOTS(predictor=kind, features=dataset.config, adversarial=adversarial,
+                     preset=preset, train_spec=base_spec, seed=seed)
+    hardened = APOTS(predictor=kind, features=dataset.config, adversarial=adversarial,
+                     preset=preset, train_spec=hard_spec, seed=seed)
+    baseline.fit(dataset)
+    hardened.fit(dataset)
+
+    max_samples = _MAX_SAMPLES.get(preset.name, 128)
+    indices = dataset.subset("test")[:max_samples]
+    batch = dataset.batch(indices)
+    targets_kmh = dataset.features.targets_kmh[indices]
+    last_input_kmh = dataset.features.last_input_kmh[indices]
+    eval_slice = EvalSlice(batch.images, batch.day_types, batch.targets,
+                           targets_kmh, last_input_kmh)
+    epsilons = [0.5 * epsilon, epsilon, 2.0 * epsilon]
+
+    before = _sweep(baseline, eval_slice, attack, epsilons, recorder, seed, workers)
+    after = _sweep(hardened, eval_slice, attack, epsilons, recorder, seed, workers)
+
+    deltas = []
+    for b, a in zip(before.results, after.results):
+        delta = EpsilonDelta(
+            epsilon_kmh=b.epsilon_kmh,
+            attacked_mae_before=b.attacked["whole"]["mae"],
+            attacked_mae_after=a.attacked["whole"]["mae"],
+            clean_mae_before=b.clean["whole"]["mae"],
+            clean_mae_after=a.clean["whole"]["mae"],
+        )
+        deltas.append(delta)
+        if recorder is not None:
+            recorder.event(
+                "robustness_delta",
+                attack=attack,
+                epsilon=delta.epsilon_kmh,
+                attacked_mae_before=delta.attacked_mae_before,
+                attacked_mae_after=delta.attacked_mae_after,
+                clean_mae_before=delta.clean_mae_before,
+                clean_mae_after=delta.clean_mae_after,
+            )
+    return AdvTrainResult(
+        before=before,
+        after=after,
+        deltas=deltas,
+        eval_attack=attack,
+        train_attack=train_attack,
+        epsilon_kmh=epsilon,
+        robust_fraction=robust_fraction,
+    )

@@ -57,21 +57,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--attack",
         default="pgd",
         choices=("fgsm", "pgd", "spsa", "random"),
-        help="attack used by the robustness experiment (default: pgd)",
+        help="attack used by the robustness / adv_train experiments (default: pgd)",
     )
     parser.add_argument(
         "--epsilon",
         type=float,
         default=5.0,
         metavar="KMH",
-        help="perturbation budget in km/h for the robustness experiment (default: 5)",
+        help="perturbation budget in km/h for the robustness / adv_train "
+        "experiments (default: 5)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=1,
         metavar="N",
-        help="processes for the robustness experiment's epsilon sweep "
+        help="processes for the robustness / adv_train epsilon sweeps "
         "(repro.parallel; default 1 = serial, identical numbers)",
     )
     return parser
@@ -87,10 +88,10 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        # Attack knobs only exist on the robustness runner.
+        # Attack knobs only exist on the attack-facing runners.
         extra = (
             {"attack": args.attack, "epsilon": args.epsilon, "workers": args.workers}
-            if name == "robustness"
+            if name in ("robustness", "adv_train")
             else {}
         )
         if args.obs_dir is not None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from . import ablations, fig1, fig4, fig5, fig6, robustness, table2, table3
+from . import ablations, adv_train, fig1, fig4, fig5, fig6, robustness, table2, table3
 
 __all__ = ["EXPERIMENTS", "run_experiment", "Renderable"]
 
@@ -47,6 +47,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
         robustness.run,
         "adversarial robustness: attack sweep + serving gate drill",
     ),
+    "adv_train": (
+        adv_train.run,
+        "input-space adversarial re-training: paired robustness sweep before/after",
+    ),
 }
 
 
@@ -56,7 +60,8 @@ def run_experiment(
     """Run one experiment by id.
 
     Extra keyword arguments are forwarded to the runner (the
-    ``robustness`` experiment takes ``attack`` and ``epsilon``).
+    ``robustness`` and ``adv_train`` experiments take ``attack``,
+    ``epsilon`` and ``workers``).
     """
     try:
         runner, _ = EXPERIMENTS[name]

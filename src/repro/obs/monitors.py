@@ -26,8 +26,12 @@ Warning codes (thresholds in :class:`MonitorConfig`):
 * ``mode_collapse`` — the within-batch std of P's generated sequences
   stayed below ``collapse_std_floor`` for ``patience`` steps: P emits
   near-identical sequences regardless of input.
+* ``robust_divergence`` — during input-space adversarial training the
+  per-batch robust loss exceeded ``robust_divergence_ratio`` times the
+  clean loss for ``patience`` steps: the training-time attacker is
+  overpowering the model and the mixed batches are mostly noise.
 
-Episode semantics: the three patience-based codes fire once per
+Episode semantics: the patience-based codes fire once per
 *episode* — after firing, the condition must clear before the monitor
 re-arms — so a saturated run produces one warning, not one per step.
 """
@@ -55,6 +59,7 @@ class MonitorConfig:
     d_fake_saturation: float = 0.02
     adv_share_floor: float = 1e-4
     collapse_std_floor: float = 1e-3
+    robust_divergence_ratio: float = 100.0
     patience: int = 20
 
 
@@ -78,8 +83,19 @@ class TrainingMonitor:
         self.emit_python_warnings = emit_python_warnings
         #: code -> number of incidents raised so far.
         self.counts: dict[str, int] = {}
+        self._diverged_steps = 0
+        self._divergence_fired = False
 
     # ------------------------------------------------------------------
+    def _episode(self, active: bool, steps: int, fired: bool) -> tuple[int, bool, bool]:
+        """Advance one patience counter; returns (steps, fired, fire_now)."""
+        if not active:
+            return 0, False, False
+        steps += 1
+        if fired or steps < self.config.patience:
+            return steps, fired, False
+        return steps, True, True
+
     def _raise(self, code: str, message: str, **fields) -> str:
         self.counts[code] = self.counts.get(code, 0) + 1
         if self.recorder is not None:
@@ -122,6 +138,40 @@ class TrainingMonitor:
                 )
         return raised
 
+    def observe_robust(self, step: int, *, clean_loss: float, robust_loss: float) -> list[str]:
+        """Feed one adversarial-augmentation measurement.
+
+        Raises ``robust_divergence`` (episode semantics) when the
+        robust loss runs ``config.robust_divergence_ratio`` times above
+        the clean loss for ``config.patience`` consecutive steps, plus
+        the usual finiteness check on the robust loss.  Available on
+        both monitors, since both trainers can train on mixed batches.
+        """
+        raised = self.check_finite(step, robust_loss=robust_loss)
+        diverged = (
+            math.isfinite(robust_loss)
+            and math.isfinite(clean_loss)
+            and robust_loss > self.config.robust_divergence_ratio * max(clean_loss, 1e-12)
+        )
+        self._diverged_steps, self._divergence_fired, fire = self._episode(
+            diverged, self._diverged_steps, self._divergence_fired
+        )
+        if fire:
+            raised.append(
+                self._raise(
+                    "robust_divergence",
+                    f"robust loss {robust_loss:.3e} over "
+                    f"{self.config.robust_divergence_ratio:.0f}x the clean loss "
+                    f"{clean_loss:.3e} for {self._diverged_steps} consecutive steps: "
+                    "the training-time attacker is overpowering the model",
+                    step=step,
+                    clean_loss=clean_loss,
+                    robust_loss=robust_loss,
+                    consecutive_steps=self._diverged_steps,
+                )
+            )
+        return raised
+
 
 class GanHealthMonitor(TrainingMonitor):
     """Adds the adversarial-game checks on top of finiteness."""
@@ -134,16 +184,6 @@ class GanHealthMonitor(TrainingMonitor):
         self._vanished_fired = False
         self._collapsed_steps = 0
         self._collapse_fired = False
-
-    # ------------------------------------------------------------------
-    def _episode(self, active: bool, steps: int, fired: bool) -> tuple[int, bool, bool]:
-        """Advance one patience counter; returns (steps, fired, fire_now)."""
-        if not active:
-            return 0, False, False
-        steps += 1
-        if fired or steps < self.config.patience:
-            return steps, fired, False
-        return steps, True, True
 
     def observe_discriminator(
         self,

@@ -81,6 +81,26 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "pool_task_retry": {"task": _INT, "attempt": _INT, "reason": _STR},
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
+    # Input-space adversarial training (repro.core.adversarial_training) -
+    "adv_train_step": {
+        "epoch": _INT,
+        "step": _INT,
+        "epsilon": _NUM,
+        "num_perturbed": _INT,
+        "num_samples": _INT,
+        "clean_loss": _NUM,
+        "robust_loss": _NUM,
+        "max_abs_delta_kmh": _NUM,
+    },
+    # Paired before/after sweep delta (adv_train experiment) -------------
+    "robustness_delta": {
+        "attack": _STR,
+        "epsilon": _NUM,
+        "attacked_mae_before": _NUM,
+        "attacked_mae_after": _NUM,
+        "clean_mae_before": _NUM,
+        "clean_mae_after": _NUM,
+    },
     "robustness_summary": {
         "attack": _STR,
         "epsilon": _NUM,

@@ -5,9 +5,22 @@ import math
 import numpy as np
 import pytest
 
-from repro.attacks import EvalSlice, build_attack, evaluate_robustness
+from repro.attacks import EvalSlice, SweepShardError, build_attack, evaluate_robustness
+from repro.attacks import harness as harness_module
 from repro.attacks.constraints import PlausibilityBox
 from repro.obs import RunRecorder, validate_run_dir
+
+#: The real shard function, captured at import so the fault-injection
+#: wrapper below can delegate without recursing into itself once the
+#: module attribute is patched.
+_ORIGINAL_SWEEP = harness_module._sweep_one_epsilon
+
+
+def _fail_on_epsilon_25(epsilon: float):
+    """Module-level (picklable) shard wrapper that blows up at eps=2.5."""
+    if epsilon == 2.5:
+        raise RuntimeError("injected shard fault")
+    return _ORIGINAL_SWEEP(epsilon)
 
 
 class TestEvaluateRobustness:
@@ -129,3 +142,38 @@ class TestEvaluateRobustnessWorkers:
             if '"robustness_summary"' in line
         ]
         assert epsilons == [1.0, 5.0]
+
+    def test_shard_failure_carries_epsilon_context(
+        self, victim_model, eval_slice, monkeypatch
+    ):
+        # A worker exception used to surface as a bare "task 1 failed";
+        # the harness must instead name the attack and the grid point.
+        monkeypatch.setattr(harness_module, "_sweep_one_epsilon", _fail_on_epsilon_25)
+        with pytest.raises(SweepShardError, match=r"'fgsm' at epsilon=2\.5") as excinfo:
+            evaluate_robustness(
+                victim_model.predictor, victim_model.scalers, eval_slice,
+                attack_name="fgsm", epsilons_kmh=[1.0, 2.5, 5.0], workers=2,
+            )
+        error = excinfo.value
+        assert error.attack == "fgsm"
+        assert error.epsilon_kmh == 2.5
+        assert error.failure.index == 1
+        assert "injected shard fault" in error.failure.detail
+        assert error.__cause__ is error.failure
+
+    def test_healthy_shards_unaffected_by_wrapper(
+        self, victim_model, eval_slice, monkeypatch
+    ):
+        # The injection harness itself must be transparent off the fault
+        # path: a sweep avoiding eps=2.5 still matches the serial run.
+        monkeypatch.setattr(harness_module, "_sweep_one_epsilon", _fail_on_epsilon_25)
+        parallel = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="fgsm", epsilons_kmh=[1.0, 5.0], workers=2,
+        )
+        monkeypatch.undo()
+        serial = evaluate_robustness(
+            victim_model.predictor, victim_model.scalers, eval_slice,
+            attack_name="fgsm", epsilons_kmh=[1.0, 5.0], workers=1,
+        )
+        assert parallel.render() == serial.render()

@@ -1,0 +1,340 @@
+"""Unit + determinism tests for input-space adversarial training.
+
+The three guarantees everything else rests on:
+
+* **no silent behaviour change** — ``robust_fraction=0.0`` (the
+  default) must be bitwise-identical to the pre-augmenter trainers; we
+  additionally pin that the zero path never even *constructs* an
+  augmenter;
+* **seed determinism** — the augmenter is a pure function of
+  ``(seed, epoch, step)`` and the batch, so repeated calls and repeated
+  fits agree bitwise;
+* **worker-count invariance** — augmentation happens parent-side, so
+  adversarially-trained ``DataParallelTrainer`` runs match ``workers=1``
+  to the same tolerance as clean training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    APOTSTrainer,
+    AdversarialAugmenter,
+    DataParallelTrainer,
+    Discriminator,
+    SupervisedTrainer,
+    TrainSpec,
+    build_predictor,
+    table1_spec,
+)
+from repro.core import adversarial_training
+
+#: Shard summation-order drift only (same bound as clean training).
+TOLERANCE = 1e-9
+
+
+def _predictor(dataset, seed=0):
+    return build_predictor(
+        "F", dataset.config, spec=table1_spec("F", 0.05), rng=np.random.default_rng(seed)
+    )
+
+
+def _spec(seed=0, **overrides):
+    defaults = dict(
+        epochs=2,
+        batch_size=64,
+        adversarial_batch_size=8,
+        max_steps_per_epoch=4,
+        robust_fraction=0.5,
+        adv_epsilon_kmh=5.0,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return TrainSpec(**defaults)
+
+
+@pytest.fixture
+def augmenter(tiny_dataset):
+    predictor = _predictor(tiny_dataset)
+    return AdversarialAugmenter.from_spec(
+        predictor, tiny_dataset.features.scalers, _spec()
+    )
+
+
+class TestValidation:
+    def test_spec_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="robust_fraction"):
+            TrainSpec(robust_fraction=1.5)
+
+    def test_spec_rejects_bad_schedule(self):
+        with pytest.raises(ValueError, match="epsilon_schedule"):
+            TrainSpec(epsilon_schedule="exponential")
+
+    def test_spec_rejects_bad_attack(self):
+        with pytest.raises(ValueError, match="adv_attack"):
+            TrainSpec(adv_attack="spsa")  # eval-only attack
+
+    def test_augmenter_rejects_zero_fraction(self, tiny_dataset):
+        predictor = _predictor(tiny_dataset)
+        with pytest.raises(ValueError, match="robust_fraction"):
+            AdversarialAugmenter(
+                predictor,
+                tiny_dataset.features.scalers,
+                robust_fraction=0.0,
+                epsilon_kmh=5.0,
+                total_epochs=2,
+            )
+
+    def test_augmenter_rejects_missing_scalers(self, tiny_dataset):
+        with pytest.raises(ValueError, match="scalers"):
+            AdversarialAugmenter(
+                _predictor(tiny_dataset),
+                None,
+                robust_fraction=0.5,
+                epsilon_kmh=5.0,
+                total_epochs=2,
+            )
+
+
+class TestEpsilonSchedule:
+    def test_constant(self, augmenter):
+        assert augmenter.epsilon_at(0) == augmenter.epsilon_at(1) == 5.0
+
+    def test_linear_ramps_to_full_budget(self, tiny_dataset):
+        aug = AdversarialAugmenter.from_spec(
+            _predictor(tiny_dataset),
+            tiny_dataset.features.scalers,
+            _spec(epochs=4, epsilon_schedule="linear"),
+        )
+        assert aug.epsilon_at(0) == pytest.approx(1.25)
+        assert aug.epsilon_at(3) == pytest.approx(5.0)
+        # Past the nominal end (early-stopped restarts) it saturates.
+        assert aug.epsilon_at(10) == pytest.approx(5.0)
+
+
+class TestAugmentBatch:
+    def test_perturbs_exactly_the_selected_fraction(self, tiny_dataset, augmenter):
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        out, info = augmenter.augment_batch(batch, epoch=0, step=0)
+        assert info.num_perturbed == 8
+        assert info.num_samples == 16
+        changed = [
+            i for i in range(16) if not np.array_equal(out.images[i], batch.images[i])
+        ]
+        assert len(changed) == info.num_perturbed
+
+    def test_mixed_batch_preserves_clean_rows_and_targets(self, tiny_dataset, augmenter):
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        out, _ = augmenter.augment_batch(batch, epoch=0, step=0)
+        untouched = [
+            i for i in range(16) if np.array_equal(out.images[i], batch.images[i])
+        ]
+        assert untouched  # it is a *mixed* batch
+        assert np.array_equal(out.targets, batch.targets)
+        assert np.array_equal(out.day_types, batch.day_types)
+        assert np.array_equal(out.indices, batch.indices)
+
+    def test_flat_rows_rebuilt_consistently(self, tiny_dataset, augmenter):
+        from repro.attacks.base import flatten_windows
+
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        out, _ = augmenter.augment_batch(batch, epoch=0, step=0)
+        assert np.array_equal(out.flat, flatten_windows(out.images, out.day_types))
+
+    def test_tiny_fraction_still_perturbs_one_sample(self, tiny_dataset):
+        aug = AdversarialAugmenter.from_spec(
+            _predictor(tiny_dataset),
+            tiny_dataset.features.scalers,
+            _spec(robust_fraction=0.01),
+        )
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:8])
+        _, info = aug.augment_batch(batch, epoch=0, step=0)
+        assert info.num_perturbed == 1
+
+    def test_same_seed_and_step_is_bitwise_repeatable(self, tiny_dataset, augmenter):
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        first, _ = augmenter.augment_batch(batch, epoch=0, step=3)
+        second, _ = augmenter.augment_batch(batch, epoch=0, step=3)
+        assert np.array_equal(first.images, second.images)
+
+    def test_different_steps_differ(self, tiny_dataset, augmenter):
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        first, _ = augmenter.augment_batch(batch, epoch=0, step=0)
+        second, _ = augmenter.augment_batch(batch, epoch=0, step=1)
+        assert not np.array_equal(first.images, second.images)
+
+    def test_perturbation_respects_budget(self, tiny_dataset, augmenter):
+        from repro.attacks.base import speed_rows_kmh
+
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:16])
+        out, info = augmenter.augment_batch(batch, epoch=0, step=0)
+        num_roads = augmenter.predictor.features.num_roads
+        scalers = tiny_dataset.features.scalers
+        before = speed_rows_kmh(batch.images, scalers, num_roads)
+        after = speed_rows_kmh(out.images, scalers, num_roads)
+        assert np.max(np.abs(after - before)) <= 5.0 + 1e-9
+        assert info.max_abs_delta_kmh <= 5.0 + 1e-9
+
+    def test_pgd_attack_varies_across_steps(self, tiny_dataset):
+        # PGDAttack reseeds from its own `seed` on every perturb call;
+        # the augmenter must derive a fresh attack seed per step or the
+        # random starts repeat.
+        aug = AdversarialAugmenter.from_spec(
+            _predictor(tiny_dataset),
+            tiny_dataset.features.scalers,
+            _spec(adv_attack="pgd", robust_fraction=1.0),
+        )
+        batch = tiny_dataset.batch(tiny_dataset.subset("train")[:8])
+        first, _ = aug.augment_batch(batch, epoch=0, step=0)
+        second, _ = aug.augment_batch(batch, epoch=0, step=1)
+        assert not np.array_equal(first.images, second.images)
+
+
+class TestAugmentRollout:
+    def test_whole_anchor_groups_perturbed(self, tiny_dataset, augmenter):
+        alpha = tiny_dataset.config.alpha
+        anchors = tiny_dataset.rollout_anchors("train")[:8]
+        batch = tiny_dataset.rollout_batch(anchors)
+        out, info = augmenter.augment_rollout(batch, alpha, epoch=0, step=0)
+        assert info.num_perturbed == 4 * alpha  # half of 8 anchors
+        # Changed rows come in whole alpha-sized anchor groups.
+        changed_rows = {
+            i
+            for i in range(batch.group_images.shape[0])
+            if not np.array_equal(out.group_images[i], batch.group_images[i])
+        }
+        groups = {row // alpha for row in changed_rows}
+        expected = {row for g in groups for row in range(g * alpha, (g + 1) * alpha)}
+        assert changed_rows == expected
+        assert np.array_equal(out.group_targets, batch.group_targets)
+        assert np.array_equal(out.condition, batch.condition)
+
+
+class TestZeroFractionBitwisePin:
+    def test_supervised_default_spec_never_builds_augmenter(
+        self, tiny_dataset, monkeypatch
+    ):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("augmenter constructed on the clean path")
+
+        monkeypatch.setattr(AdversarialAugmenter, "from_spec", boom)
+        monkeypatch.setattr(adversarial_training.AdversarialAugmenter, "from_spec", boom)
+        spec = _spec(robust_fraction=0.0)
+        SupervisedTrainer(_predictor(tiny_dataset), spec).fit(tiny_dataset)
+
+    def test_gan_default_spec_never_builds_augmenter(self, tiny_dataset, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("augmenter constructed on the clean path")
+
+        monkeypatch.setattr(adversarial_training.AdversarialAugmenter, "from_spec", boom)
+        spec = _spec(epochs=1, robust_fraction=0.0)
+        predictor = _predictor(tiny_dataset)
+        disc = Discriminator(
+            tiny_dataset.config, spec=table1_spec("F", 0.05), rng=np.random.default_rng(1)
+        )
+        APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+
+    def test_zero_fraction_matches_clean_weights_bitwise(self, tiny_dataset):
+        clean_spec = TrainSpec(
+            epochs=2, batch_size=64, max_steps_per_epoch=4, seed=0
+        )
+        zero_spec = _spec(robust_fraction=0.0)
+        a = _predictor(tiny_dataset)
+        b = _predictor(tiny_dataset)
+        hist_a = SupervisedTrainer(a, clean_spec).fit(tiny_dataset)
+        hist_b = SupervisedTrainer(b, zero_spec).fit(tiny_dataset)
+        assert hist_a.train_loss == hist_b.train_loss
+        for ours, theirs in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(ours.data, theirs.data)
+
+
+class TestAdversarialFitDeterminism:
+    def _fit(self, trainer_cls, dataset, seed=0, **kwargs):
+        predictor = _predictor(dataset, seed=seed)
+        trainer = trainer_cls(predictor, _spec(seed=seed), **kwargs)
+        history = trainer.fit(dataset)
+        return predictor, history
+
+    def test_repeated_fits_bitwise_identical(self, tiny_dataset):
+        a, hist_a = self._fit(SupervisedTrainer, tiny_dataset)
+        b, hist_b = self._fit(SupervisedTrainer, tiny_dataset)
+        assert hist_a.train_loss == hist_b.train_loss
+        for ours, theirs in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(ours.data, theirs.data)
+
+    def test_workers_1_bitwise_matches_serial(self, tiny_dataset):
+        serial_pred, serial_hist = self._fit(SupervisedTrainer, tiny_dataset)
+        dp_pred, dp_hist = self._fit(DataParallelTrainer, tiny_dataset, workers=1)
+        assert serial_hist.train_loss == dp_hist.train_loss
+        for ours, theirs in zip(serial_pred.parameters(), dp_pred.parameters()):
+            assert np.array_equal(ours.data, theirs.data)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_workers_n_matches_serial_within_tolerance(self, tiny_dataset, workers):
+        serial_pred, serial_hist = self._fit(SupervisedTrainer, tiny_dataset)
+        dp_pred, dp_hist = self._fit(DataParallelTrainer, tiny_dataset, workers=workers)
+        np.testing.assert_allclose(
+            dp_hist.train_loss, serial_hist.train_loss, rtol=0, atol=TOLERANCE
+        )
+        for ours, theirs in zip(serial_pred.parameters(), dp_pred.parameters()):
+            np.testing.assert_allclose(theirs.data, ours.data, rtol=0, atol=TOLERANCE)
+
+    def test_gan_fit_with_augmentation_deterministic(self, tiny_dataset):
+        def run():
+            predictor = _predictor(tiny_dataset)
+            disc = Discriminator(
+                tiny_dataset.config,
+                spec=table1_spec("F", 0.05),
+                rng=np.random.default_rng(1),
+            )
+            spec = _spec(epochs=1)
+            history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+            return predictor, history
+
+        a, hist_a = run()
+        b, hist_b = run()
+        assert hist_a.predictor_loss == hist_b.predictor_loss
+        for ours, theirs in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(ours.data, theirs.data)
+
+
+class TestMonitorIntegration:
+    def test_robust_divergence_fires_on_sustained_blowup(self):
+        from repro.obs import TrainingMonitor
+        from repro.obs.monitors import GanHealthWarning, MonitorConfig
+
+        monitor = TrainingMonitor(config=MonitorConfig(patience=3))
+        codes: list[str] = []
+        with pytest.warns(GanHealthWarning, match="robust_divergence"):
+            for step in range(3):
+                codes += monitor.observe_robust(
+                    step, clean_loss=0.01, robust_loss=10.0
+                )
+        assert codes == ["robust_divergence"]
+        # Episode semantics: staying diverged does not re-fire...
+        assert monitor.observe_robust(3, clean_loss=0.01, robust_loss=10.0) == []
+        # ...until the condition clears and recurs for `patience` steps.
+        assert monitor.observe_robust(4, clean_loss=0.01, robust_loss=0.01) == []
+        with pytest.warns(GanHealthWarning, match="robust_divergence"):
+            fired = []
+            for step in range(5, 8):
+                fired += monitor.observe_robust(step, clean_loss=0.01, robust_loss=10.0)
+        assert fired == ["robust_divergence"]
+
+    def test_healthy_ratio_never_fires(self):
+        from repro.obs import TrainingMonitor
+        from repro.obs.monitors import MonitorConfig
+
+        monitor = TrainingMonitor(config=MonitorConfig(patience=2))
+        for step in range(10):
+            assert monitor.observe_robust(step, clean_loss=0.1, robust_loss=0.5) == []
+        assert monitor.counts == {}
+
+    def test_non_finite_robust_loss_flagged(self):
+        from repro.obs import TrainingMonitor
+
+        monitor = TrainingMonitor(emit_python_warnings=False)
+        codes = monitor.observe_robust(0, clean_loss=0.1, robust_loss=float("nan"))
+        assert codes == ["non_finite_loss"]

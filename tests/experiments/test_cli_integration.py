@@ -49,6 +49,45 @@ class TestCliRunsExperiments:
         assert "[obs] run" in out
 
 
+class TestAttackCliFlags:
+    """The --attack/--epsilon/--workers knobs reach the runners."""
+
+    def test_robustness_via_cli_with_attack_flags(self, capsys):
+        code = main(
+            ["robustness", "--preset", "smoke", "--seed", "1",
+             "--attack", "fgsm", "--epsilon", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The sweep grid is {0.5, 1, 2} x epsilon, so the chosen budget
+        # and attack must show up in the rendered report.
+        assert "fgsm" in out
+        assert "8.0" in out  # 2 x epsilon row of the sweep table
+
+    def test_adv_train_via_cli_with_attack_flags(self, capsys):
+        code = main(
+            ["adv_train", "--preset", "smoke", "--seed", "1",
+             "--attack", "fgsm", "--epsilon", "4", "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Adversarial re-training" in out
+        assert "evaluated against fgsm" in out
+        assert "hardening verdict" in out
+
+    def test_rejects_unknown_attack(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["robustness", "--preset", "smoke", "--attack", "zero-day"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_attack_flags_not_forwarded_to_other_experiments(self, capsys):
+        # fig1's runner has no `attack` kwarg; the CLI must not pass it.
+        code = main(["fig1", "--preset", "smoke", "--seed", "1",
+                     "--attack", "fgsm", "--epsilon", "3"])
+        assert code == 0
+        assert "Fig 1" in capsys.readouterr().out
+
+
 class TestRegistryDispatch:
     @pytest.mark.parametrize(
         "name",

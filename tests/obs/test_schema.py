@@ -57,6 +57,26 @@ class TestValidateEvent:
                 clean_mape=6.5,
                 attacked_mape=8.9,
             ),
+            "adv_train_step": envelope(
+                "adv_train_step",
+                epoch=0,
+                step=2,
+                epsilon=5.0,
+                num_perturbed=8,
+                num_samples=16,
+                clean_loss=0.4,
+                robust_loss=0.7,
+                max_abs_delta_kmh=4.9,
+            ),
+            "robustness_delta": envelope(
+                "robustness_delta",
+                attack="pgd",
+                epsilon=5.0,
+                attacked_mae_before=4.2,
+                attacked_mae_after=3.6,
+                clean_mae_before=3.1,
+                clean_mae_after=3.2,
+            ),
             "pool_task_start": envelope("pool_task_start", task=0, attempt=0, worker=1),
             "pool_task_end": envelope(
                 "pool_task_end", task=0, attempt=0, worker=1, duration_s=0.25

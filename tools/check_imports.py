@@ -10,10 +10,15 @@ serving path deployable without dragging the offline experiment harness
 * ``repro.serving``  must not import ``repro.experiments`` or ``repro.baselines``,
   and of ``repro.attacks`` may import only the dependency-light
   ``repro.attacks.defense`` gate (via the ``ALLOWED`` carve-out below)
-* ``repro.attacks``  may import ``repro.nn``/``repro.core``/``repro.metrics``/
-  ``repro.obs`` but must not reach into ``repro.data``, ``repro.traffic``,
+* ``repro.attacks``  may import ``repro.nn``/``repro.metrics``/``repro.obs``
+  but must not reach into ``repro.core``, ``repro.data``, ``repro.traffic``,
   ``repro.serving``, ``repro.experiments`` or ``repro.baselines`` — attacks
   operate on arrays and predict callables, so any victim pipeline can use them
+* ``repro.core``     sits *above* attacks: only the adversarial-training
+  module may import the attack primitives it replays during training
+  (``base``/``constraints``/``gradients``/``whitebox`` — via the per-module
+  ``ALLOWED`` carve-out below); the rest of core, and everything attacks
+  itself imports, stays attack-free so the dependency edge cannot cycle
 * ``repro.data``     must not import ``repro.core``, ``repro.serving`` or ``repro.experiments``
 * ``repro.nn``       must not import anything above it (only numpy/stdlib)
 * ``repro.obs``      must not import anything above ``repro.nn`` — every
@@ -47,11 +52,19 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.parallel",
     ),
     "repro.attacks": (
+        "repro.core",
         "repro.data",
         "repro.traffic",
         "repro.serving",
         "repro.experiments",
         "repro.baselines",
+    ),
+    "repro.core": (
+        "repro.attacks",
+        "repro.serving",
+        "repro.experiments",
+        "repro.baselines",
+        "repro.traffic",
     ),
     "repro.data": ("repro.core", "repro.serving", "repro.experiments", "repro.parallel"),
     "repro.nn": (
@@ -87,14 +100,25 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     ),
 }
 
-#: Narrow carve-outs from FORBIDDEN: layer prefix -> module names it may
+#: Narrow carve-outs from FORBIDDEN: module prefix -> module names it may
 #: import despite a banning rule (including names imported *from* them).
-#: Listing a leaf module keeps the carve-out from silently widening to
-#: its siblings.
+#: Keys may be whole layers *or* single modules — a single-module key
+#: scopes the exemption to that file alone, so the carve-out cannot
+#: silently widen to its package siblings.
 ALLOWED: dict[str, tuple[str, ...]] = {
     # The serving-side defense gate is stdlib-only by design; the rest of
     # repro.attacks (autograd, metrics, harness) stays out of the server image.
     "repro.serving": ("repro.attacks.defense",),
+    # Adversarial training replays the white-box attacks on minibatches,
+    # so this one core module may import the attack primitives.  Scoped to
+    # the leaf module: trainers reach attacks only through it, and the
+    # sweep harness / defense gate stay off-limits to all of core.
+    "repro.core.adversarial_training": (
+        "repro.attacks.base",
+        "repro.attacks.constraints",
+        "repro.attacks.gradients",
+        "repro.attacks.whitebox",
+    ),
 }
 
 
@@ -138,7 +162,14 @@ def check() -> list[str]:
         if not layers:
             continue
         rules = [FORBIDDEN[layer] for layer in layers]
-        allowed = {name for layer in layers for name in ALLOWED.get(layer, ())}
+        # Carve-outs match by module prefix so a key can be a whole layer
+        # ("repro.serving") or one file ("repro.core.adversarial_training").
+        allowed = {
+            name
+            for key, names in ALLOWED.items()
+            if module == key or module.startswith(key + ".")
+            for name in names
+        }
         tree = ast.parse(path.read_text(), filename=str(path))
         for lineno, imported in imported_modules(tree, module):
             if any(imported == a or imported.startswith(a + ".") for a in allowed):

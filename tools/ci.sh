@@ -7,5 +7,6 @@ cd "$(dirname "$0")/.."
 python tools/check_imports.py
 PYTHONPATH=src python tools/obs_smoke.py
 PYTHONPATH=src python tools/attack_smoke.py
+PYTHONPATH=src python tools/adv_train_smoke.py
 PYTHONPATH=src python tools/parallel_smoke.py
 PYTHONPATH=src python -m pytest -x -q "$@"
