@@ -1,0 +1,165 @@
+"""Fleet-serving benchmarks: shard parity and the saturation knee.
+
+Two measurements:
+
+* **shard-count invariance** — the one property that must hold on any
+  machine: a mixed ``predict_many`` batch answered by 1-, 2- and
+  4-shard fleets built from one checkpoint is bitwise identical.  This
+  is asserted unconditionally (it is correctness, not performance).
+* **saturation knee** — a deterministic open-loop replay
+  (:mod:`repro.fleet.loadgen`, fixed seed) swept at 1x / 10x / 100x
+  rate multipliers against a 2-shard fleet.  Offered vs served QPS,
+  p50/p99 latency against scheduled arrival, shed rate and peak queue
+  depth are **recorded** into ``BENCH_<preset>.json`` — never asserted:
+  where the knee sits depends on the host's core count and speed, and a
+  1-core CI runner saturates far earlier than a workstation.  The point
+  is the trajectory across PRs, not a pass/fail bar.
+
+The replay compresses the simulator's native 300 s tick to 0.25 s so
+the whole sweep stays inside benchmark time; the ``rate`` multiplier
+then scales from there exactly as it would from real cadence.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import APOTS, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.core import save_model
+from repro.core.config import ScalePreset
+from repro.fleet import ArrivalSchedule, ForecastFleet, run_open_loop
+from repro.serving import Observation
+
+from conftest import BENCH_SEED, record_metric, report, run_once
+
+EFFECTIVE_CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+
+FLEET_PRESET = ScalePreset(
+    name="bench-fleet",
+    num_days=6,
+    width_factor=0.05,
+    epochs=2,
+    adversarial_epochs=1,
+    batch_size=64,
+    adversarial_batch_size=8,
+    max_steps_per_epoch=6,
+)
+WARM_TICKS = 15
+RATES = (1.0, 10.0, 100.0)
+#: Native tick compressed from the simulator's 300 s for benchmark time.
+TICK_SECONDS = 0.25
+LOAD_TICKS = 12
+QUERIES_PER_TICK = 24.0
+
+
+def _series():
+    return simulate(SimulationConfig(num_days=6, seed=BENCH_SEED))
+
+
+def _checkpoint(series, directory: str) -> str:
+    dataset = TrafficDataset(series, FeatureConfig(), seed=5)
+    model = APOTS(predictor="F", adversarial=False, preset=FLEET_PRESET, seed=0)
+    model.fit(dataset)
+    save_model(model, directory)
+    return directory
+
+
+def _replay(fleet, series, steps) -> None:
+    for step in steps:
+        fleet.ingest_many(
+            Observation(
+                segment_id=segment,
+                step=step,
+                speed_kmh=float(series.speeds[segment, step]),
+                event=float(series.events[segment, step]),
+                temperature=float(series.temperature[step]),
+                precipitation=float(series.precipitation[step]),
+                day_type=tuple(series.day_types[step]),
+            )
+            for segment in range(series.num_segments)
+        )
+
+
+def test_bench_fleet_shard_invariance(benchmark):
+    series = _series()
+    query = [4, 0, 7, 2, 2, 8, 5, 1, 3, 6, 4]
+
+    def run() -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = _checkpoint(series, tmp)
+            answers = {}
+            for shards in (1, 2, 4):
+                with ForecastFleet(checkpoint, series.num_segments, shards=shards) as fleet:
+                    _replay(fleet, series, range(WARM_TICKS))
+                    answers[shards] = fleet.predict_many(query)
+            return answers
+
+    answers = run_once(benchmark, run)
+    assert answers[2] == answers[1], "2-shard fleet diverged from process-free fleet"
+    assert answers[4] == answers[1], "4-shard fleet diverged from process-free fleet"
+    assert [f.segment_id for f in answers[1]] == query, "request order not preserved"
+    record_metric(
+        "test_bench_fleet_shard_invariance",
+        shard_counts=[1, 2, 4], queries=len(query), bitwise_identical=True,
+    )
+    report(
+        f"fleet shard invariance: {len(query)} mixed queries bitwise identical "
+        f"across shards {{1, 2, 4}}"
+    )
+
+
+def test_bench_fleet_saturation_knee(benchmark):
+    series = _series()
+
+    def run() -> dict:
+        rows = {}
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = _checkpoint(series, tmp)
+            for rate in RATES:
+                schedule = ArrivalSchedule.from_series(
+                    series,
+                    seed=BENCH_SEED,
+                    rate=rate,
+                    ticks=LOAD_TICKS,
+                    start_step=WARM_TICKS,
+                    queries_per_tick=QUERIES_PER_TICK,
+                    tick_seconds=TICK_SECONDS,
+                )
+                with ForecastFleet(
+                    checkpoint, series.num_segments, shards=2, max_queue_per_shard=32
+                ) as fleet:
+                    _replay(fleet, series, range(WARM_TICKS))
+                    rows[rate] = run_open_loop(fleet, schedule)
+        return rows
+
+    rows = run_once(benchmark, run)
+    for rate, row in rows.items():
+        assert row.served + row.shed == row.offered, (
+            f"rate {rate}x dropped requests silently: {row}"
+        )
+        record_metric(
+            "test_bench_fleet_saturation_knee",
+            **{
+                f"rate_{rate:g}x": {
+                    "offered_qps": row.offered_qps,
+                    "served_qps": row.served_qps,
+                    "p50_ms": row.p50_ms,
+                    "p99_ms": row.p99_ms,
+                    "shed_rate": row.shed_rate,
+                    "max_queue_depth": row.max_queue_depth,
+                }
+            },
+        )
+    record_metric(
+        "test_bench_fleet_saturation_knee",
+        effective_cores=EFFECTIVE_CORES, shards=2,
+        tick_seconds=TICK_SECONDS, ticks=LOAD_TICKS,
+    )
+    report(
+        "fleet saturation knee (2 shards, open-loop replay, "
+        f"{EFFECTIVE_CORES} cores):\n"
+        + "\n".join(f"  {rows[rate].render()}" for rate in RATES)
+    )

@@ -1,0 +1,81 @@
+"""Bounded per-shard admission queues for the open-loop request path.
+
+The fleet answers two kinds of callers.  Closed-loop callers
+(:meth:`repro.fleet.ForecastFleet.predict_many`) wait for their answer,
+so they are their own back-pressure and bypass admission entirely —
+this is also what keeps ``predict_many`` bitwise-invariant to shard
+count, since per-shard queue bounds would otherwise trip at different
+request counts for different shard layouts.
+
+Open-loop callers (:meth:`~repro.fleet.ForecastFleet.submit` /
+:meth:`~repro.fleet.ForecastFleet.drain`, driven by
+:mod:`repro.fleet.loadgen`) do *not* wait: arrivals keep coming at the
+schedule's pace whether or not the fleet keeps up.  Those requests pass
+through here — one bounded FIFO per shard.  A request that finds its
+shard's queue full is **shed**: it still gets an immediate naive
+persistence answer (never a silent drop), counted and observable as a
+``fleet_shed`` event.  Bounding the queue bounds the worst-case
+latency of every admitted request, which is the whole admission-control
+trade: at saturation you choose between unbounded queueing delay and a
+bounded shed rate, and a forecast that arrives after its 5-minute tick
+has passed is worth less than an honest naive fallback now.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """One bounded FIFO queue per shard, with shed/peak accounting."""
+
+    def __init__(self, num_shards: int, max_queue_per_shard: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if max_queue_per_shard < 1:
+            raise ValueError("max_queue_per_shard must be positive")
+        self.num_shards = num_shards
+        self.max_queue_per_shard = max_queue_per_shard
+        self._queues: list[deque[Any]] = [deque() for _ in range(num_shards)]
+        self._admitted = [0] * num_shards
+        self._shed = [0] * num_shards
+        self._peak_depth = [0] * num_shards
+
+    # ------------------------------------------------------------------
+    def try_admit(self, shard: int, item: Any) -> bool:
+        """Enqueue ``item`` for ``shard``; False means the caller must shed."""
+        queue = self._queues[shard]
+        if len(queue) >= self.max_queue_per_shard:
+            self._shed[shard] += 1
+            return False
+        queue.append(item)
+        self._admitted[shard] += 1
+        if len(queue) > self._peak_depth[shard]:
+            self._peak_depth[shard] = len(queue)
+        return True
+
+    def drain_shard(self, shard: int) -> list[Any]:
+        """Pop everything queued for ``shard``, in admission order."""
+        queue = self._queues[shard]
+        items = list(queue)
+        queue.clear()
+        return items
+
+    # ------------------------------------------------------------------
+    def depth(self, shard: int) -> int:
+        return len(self._queues[shard])
+
+    def depths(self) -> list[int]:
+        return [len(queue) for queue in self._queues]
+
+    def snapshot(self) -> dict:
+        return {
+            "max_queue_per_shard": self.max_queue_per_shard,
+            "queue_depths": self.depths(),
+            "peak_queue_depths": list(self._peak_depth),
+            "admitted": list(self._admitted),
+            "shed_at_admission": list(self._shed),
+        }

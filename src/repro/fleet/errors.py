@@ -1,0 +1,24 @@
+"""Exception hierarchy of the fleet layer.
+
+Deliberately small: most fleet-level failures are *not* exceptions.
+A lost replica degrades its shard to naive persistence (observable as a
+``fleet_shard_lost`` event and shed forecasts), and an overflowing
+admission queue sheds requests rather than raising — the fleet's whole
+point is to keep answering.  Errors are reserved for caller bugs
+(using a closed fleet, killing a replica that does not exist) and for
+feed conditions the serving layer already treats as hard errors
+(:class:`repro.serving.StaleObservationError` and friends re-raise
+unchanged through the fleet).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FleetError", "FleetClosedError"]
+
+
+class FleetError(RuntimeError):
+    """Base class for all fleet-layer errors."""
+
+
+class FleetClosedError(FleetError):
+    """An operation was attempted on a fleet after :meth:`close`."""

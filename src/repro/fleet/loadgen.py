@@ -1,0 +1,297 @@
+"""Deterministic open-loop load generation against a forecast fleet.
+
+An **open-loop** load test replays a pre-computed arrival schedule at
+its own pace: arrivals never wait for completions, so when the fleet
+falls behind, queues grow, latency climbs and the admission controller
+starts shedding — exactly the saturation behaviour a closed-loop
+benchmark (which self-throttles) can never show.  Sweeping the ``rate``
+multiplier locates the saturation knee: the offered rate where served
+QPS stops tracking offered QPS and the shed rate lifts off zero.
+
+Determinism contract: an :class:`ArrivalSchedule` is a pure function of
+``(seed, rate)`` plus the replayed series and the shape knobs — one
+seeded generator draws every query count, burst size, segment choice
+and intra-tick offset, and ``rate`` only rescales time.  Two runs with
+the same ``(seed, rate)`` submit byte-identical request streams
+(pinned via :meth:`ArrivalSchedule.fingerprint`); what the machine then
+*does* with that stream (latency, shed rate) is measured and recorded,
+never asserted.
+
+Clock discipline: :func:`run_open_loop` uses the **fleet's** injectable
+clock for scheduling and latency accounting, so tests drive the whole
+loop with a fake clock and stay deterministic, while benchmarks use the
+real one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serving.state import Observation
+from .fleet import FleetRequest, ForecastFleet
+
+__all__ = ["LoadEvent", "ArrivalSchedule", "LoadReport", "run_open_loop"]
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One scheduled arrival: a tick's ingest batch or a query burst."""
+
+    time_s: float
+    step: int
+    kind: str  # "ingest" | "predict"
+    segment_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fully materialised, replayable arrival sequence."""
+
+    series: object = field(repr=False)
+    seed: int
+    rate: float
+    tick_seconds: float
+    start_step: int
+    ticks: int
+    events: tuple[LoadEvent, ...] = field(repr=False)
+
+    @classmethod
+    def from_series(
+        cls,
+        series,
+        *,
+        seed: int,
+        rate: float,
+        ticks: int,
+        start_step: int = 0,
+        queries_per_tick: float = 8.0,
+        burst_max: int = 4,
+        tick_seconds: float | None = None,
+    ) -> "ArrivalSchedule":
+        """Build the deterministic schedule for one replay window.
+
+        ``tick_seconds`` is the *native* duration of one simulator tick
+        (defaults to the series' real cadence, e.g. 300 s for 5-minute
+        data); ``rate`` is the replay multiplier, so wall time per tick
+        is ``tick_seconds / rate``.  Query bursts model dashboard users:
+        Poisson-many queries per tick, grouped into bursts of up to
+        ``burst_max`` segments drawn from a centre-weighted popularity
+        profile (middle segments are the model-servable ones; edges
+        degrade to naive and exercise that path too).
+        """
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if ticks < 1:
+            raise ValueError("ticks must be positive")
+        if burst_max < 1:
+            raise ValueError("burst_max must be positive")
+        if queries_per_tick < 0:
+            raise ValueError("queries_per_tick must be non-negative")
+        if tick_seconds is None:
+            tick_seconds = float(series.interval_minutes) * 60.0
+        if start_step < 0 or start_step + ticks > series.num_steps:
+            raise ValueError(
+                f"replay window [{start_step}, {start_step + ticks}) outside "
+                f"series of {series.num_steps} steps"
+            )
+        num_segments = series.num_segments
+        # Centre-weighted popularity: deterministic triangle profile.
+        distance_from_edge = np.minimum(
+            np.arange(num_segments), np.arange(num_segments)[::-1]
+        )
+        popularity = (1.0 + distance_from_edge) / (1.0 + distance_from_edge).sum()
+
+        rng = np.random.default_rng(seed)
+        tick_dt = tick_seconds / rate
+        events: list[LoadEvent] = []
+        for i in range(ticks):
+            step = start_step + i
+            tick_start = i * tick_dt
+            events.append(
+                LoadEvent(tick_start, step, "ingest", tuple(range(num_segments)))
+            )
+            remaining = int(rng.poisson(queries_per_tick))
+            bursts: list[LoadEvent] = []
+            while remaining > 0:
+                size = min(remaining, int(rng.integers(1, burst_max + 1)))
+                segments = rng.choice(num_segments, size=size, p=popularity)
+                offset = float(rng.random()) * tick_dt
+                bursts.append(
+                    LoadEvent(
+                        tick_start + offset,
+                        step,
+                        "predict",
+                        tuple(int(s) for s in segments),
+                    )
+                )
+                remaining -= size
+            events.extend(sorted(bursts, key=lambda e: e.time_s))
+        return cls(
+            series=series,
+            seed=seed,
+            rate=float(rate),
+            tick_seconds=float(tick_seconds),
+            start_step=start_step,
+            ticks=ticks,
+            events=tuple(events),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        return self.ticks * self.tick_seconds / self.rate
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(e.segment_ids) for e in self.events if e.kind == "predict")
+
+    @property
+    def offered_qps(self) -> float:
+        return self.num_queries / self.duration_s
+
+    def fingerprint(self) -> str:
+        """Digest of the arrival structure (times, steps, kinds, segments)."""
+        digest = hashlib.blake2b(digest_size=16)
+        for event in self.events:
+            digest.update(struct.pack("<dq", event.time_s, event.step))
+            digest.update(event.kind.encode())
+            digest.update(np.asarray(event.segment_ids, dtype=np.int64).tobytes())
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Measured outcome of one open-loop replay."""
+
+    rate: float
+    offered: int
+    served: int
+    shed: int
+    shed_rate: float
+    duration_s: float
+    offered_qps: float
+    served_qps: float
+    p50_ms: float
+    p99_ms: float
+    max_queue_depth: int
+    lost_shards: tuple[int, ...]
+
+    def render(self) -> str:
+        return (
+            f"rate {self.rate:g}x: offered {self.offered} ({self.offered_qps:.1f} qps), "
+            f"served {self.served} ({self.served_qps:.1f} qps), "
+            f"shed {self.shed} ({100.0 * self.shed_rate:.1f}%), "
+            f"p50 {self.p50_ms:.1f} ms, p99 {self.p99_ms:.1f} ms, "
+            f"peak queue {self.max_queue_depth}"
+            + (f", lost shards {list(self.lost_shards)}" if self.lost_shards else "")
+        )
+
+
+def _observations_at(series, step: int, segment_ids) -> list[Observation]:
+    return [
+        Observation(
+            segment_id=int(segment),
+            step=step,
+            speed_kmh=float(series.speeds[segment, step]),
+            event=float(series.events[segment, step]),
+            temperature=float(series.temperature[step]),
+            precipitation=float(series.precipitation[step]),
+            day_type=tuple(series.day_types[step]),
+        )
+        for segment in segment_ids
+    ]
+
+
+def run_open_loop(
+    fleet: ForecastFleet,
+    schedule: ArrivalSchedule,
+    *,
+    sleep=None,
+    recorder=None,
+) -> LoadReport:
+    """Replay ``schedule`` against ``fleet`` and measure what happened.
+
+    Arrivals are submitted when their scheduled time comes due on the
+    fleet's clock — never earlier, and crucially never *later on
+    purpose*: if a drain ran long, every arrival that came due
+    meanwhile is submitted in one catch-up burst before the next drain,
+    which is how queue pressure (and shedding) develops.  Per-request
+    latency is measured against the *scheduled* arrival time, so time
+    spent waiting in a backlog counts against the SLO exactly as it
+    would for a real user.
+    """
+    import time as _time
+
+    if sleep is None:
+        sleep = _time.sleep
+    clock = fleet.clock
+    recorder = recorder if recorder is not None else fleet._recorder
+    origin = clock()
+    tickets: list[FleetRequest] = []
+    events = schedule.events
+    i = 0
+    while i < len(events):
+        now = clock() - origin
+        if events[i].time_s > now:
+            sleep(events[i].time_s - now)
+            now = clock() - origin
+        while i < len(events) and events[i].time_s <= now:
+            event = events[i]
+            if event.kind == "ingest":
+                fleet.ingest_many(
+                    _observations_at(schedule.series, event.step, event.segment_ids)
+                )
+            else:
+                tickets.extend(
+                    fleet.submit(event.segment_ids, arrival_s=origin + event.time_s)
+                )
+            i += 1
+        fleet.drain()
+    fleet.drain()
+    wall = max(clock() - origin, 1e-9)
+
+    unresolved = [t for t in tickets if not t.done]
+    assert not unresolved, f"{len(unresolved)} tickets left unresolved after drain"
+    offered = len(tickets)
+    shed = sum(1 for t in tickets if t.shed)
+    served = offered - shed
+    latencies_ms = [
+        (t.completed_s - t.arrival_s) * 1e3 for t in tickets if not t.shed
+    ]
+    if latencies_ms:
+        p50, p99 = np.percentile(np.asarray(latencies_ms), [50.0, 99.0])
+    else:
+        p50 = p99 = float("nan")
+    admission = fleet.admission.snapshot()
+    report = LoadReport(
+        rate=schedule.rate,
+        offered=offered,
+        served=served,
+        shed=shed,
+        shed_rate=shed / offered if offered else 0.0,
+        duration_s=wall,
+        offered_qps=offered / wall,
+        served_qps=served / wall,
+        p50_ms=float(p50),
+        p99_ms=float(p99),
+        max_queue_depth=max(admission["peak_queue_depths"], default=0),
+        lost_shards=tuple(fleet.lost_shards),
+    )
+    if recorder is not None:
+        recorder.event(
+            "fleet_loadgen_summary",
+            rate=report.rate,
+            offered=report.offered,
+            served=report.served,
+            shed=report.shed,
+            shed_rate=report.shed_rate,
+            offered_qps=report.offered_qps,
+            served_qps=report.served_qps,
+            p50_ms=report.p50_ms,
+            p99_ms=report.p99_ms,
+        )
+    return report

@@ -1,0 +1,109 @@
+"""Deterministic segment → shard routing for the forecast fleet.
+
+:class:`ShardMap` partitions a corridor of ``num_segments`` into
+``num_shards`` *contiguous* balanced ranges.  Contiguity is what makes
+sharded serving bitwise-equal to a single service: a model window reads
+the target segment plus ``m`` neighbours on each side, so the owner of
+a contiguous range only ever needs a *halo* of ``m`` extra segments per
+boundary — observations for a segment are routed to every shard whose
+halo covers it (at most a handful, and exactly one owner).
+
+The map is a pure function of ``(num_segments, num_shards)``: no
+hashing, no registration order, no randomness.  Two processes that
+agree on those two integers agree on every routing decision, which is
+what lets the fleet parent and each replica derive the same ownership
+independently.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ..serving.errors import UnknownSegmentError
+
+__all__ = ["ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Balanced contiguous partition of ``range(num_segments)``.
+
+    Shard ``i`` owns the half-open range
+    ``[floor(i * n / k), floor((i + 1) * n / k))`` — sizes differ by at
+    most one, and the layout for ``k`` shards refines deterministically
+    as ``k`` grows.
+    """
+
+    num_segments: int
+    num_shards: int
+    _starts: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.num_segments < 1:
+            raise ValueError("num_segments must be positive")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.num_shards > self.num_segments:
+            raise ValueError(
+                f"cannot spread {self.num_segments} segments over "
+                f"{self.num_shards} shards (shards would own nothing)"
+            )
+        starts = tuple(
+            (i * self.num_segments) // self.num_shards for i in range(self.num_shards)
+        )
+        object.__setattr__(self, "_starts", starts)
+
+    # ------------------------------------------------------------------
+    def check_segment(self, segment_id: int) -> None:
+        if not 0 <= segment_id < self.num_segments:
+            raise UnknownSegmentError(
+                f"segment {segment_id} outside corridor 0..{self.num_segments - 1}"
+            )
+
+    def shard_of(self, segment_id: int) -> int:
+        """The shard that owns (answers queries for) ``segment_id``."""
+        self.check_segment(segment_id)
+        return bisect_right(self._starts, segment_id) - 1
+
+    def owned_range(self, shard: int) -> tuple[int, int]:
+        """Half-open ``[lo, hi)`` segment range owned by ``shard``."""
+        self._check_shard(shard)
+        lo = self._starts[shard]
+        hi = (
+            self._starts[shard + 1]
+            if shard + 1 < self.num_shards
+            else self.num_segments
+        )
+        return lo, hi
+
+    def halo_range(self, shard: int, m: int) -> tuple[int, int]:
+        """Owned range widened by ``m`` neighbours per side (clipped).
+
+        These are the segments whose observations the shard must ingest
+        so every *owned* segment's ``2m + 1``-row window stays complete.
+        """
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        lo, hi = self.owned_range(shard)
+        return max(0, lo - m), min(self.num_segments, hi + m)
+
+    def shards_for_observation(self, segment_id: int, m: int) -> range:
+        """Every shard whose ``m``-halo covers ``segment_id``.
+
+        A shard's halo covers ``segment_id`` iff the shard owns some
+        segment in ``[segment_id - m, segment_id + m]``; owners of a
+        contiguous range are themselves contiguous, so the answer is a
+        ``range`` of shard ids (always containing the owner).
+        """
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        self.check_segment(segment_id)
+        first = self.shard_of(max(0, segment_id - m))
+        last = self.shard_of(min(self.num_segments - 1, segment_id + m))
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} outside fleet 0..{self.num_shards - 1}")

@@ -79,6 +79,29 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     "pool_task_start": {"task": _INT, "attempt": _INT, "worker": _INT},
     "pool_task_end": {"task": _INT, "attempt": _INT, "worker": _INT, "duration_s": _NUM},
     "pool_task_retry": {"task": _INT, "attempt": _INT, "reason": _STR},
+    # Forecast fleet (repro.fleet) ---------------------------------------
+    # Emitted by the fleet parent process only (replicas never hold the
+    # recorder).  `fleet_shed` aggregates one shard's sheds per call so
+    # the log stays bounded under overload.
+    "fleet_shard_lost": {"shard": _INT, "method": _STR, "reason": _STR},
+    "fleet_shed": {"shard": _INT, "count": _INT, "queue_depth": _INT, "reason": _STR},
+    "fleet_drain": {
+        "served": _INT,
+        "shed": _INT,
+        "max_queue_depth": _INT,
+        "duration_s": _NUM,
+    },
+    "fleet_loadgen_summary": {
+        "rate": _NUM,
+        "offered": _INT,
+        "served": _INT,
+        "shed": _INT,
+        "shed_rate": _NUM,
+        "offered_qps": _NUM,
+        "served_qps": _NUM,
+        "p50_ms": _NUM,
+        "p99_ms": _NUM,
+    },
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
     # Input-space adversarial training (repro.core.adversarial_training) -

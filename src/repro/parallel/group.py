@@ -12,8 +12,14 @@ calls per second.  :class:`WorkerGroup` provides exactly that shape:
 * :meth:`scatter` sends one ``(method, args)`` call to each of the
   first *k* workers and gathers the replies in worker order — the
   synchronous step shape data-parallel training needs;
+* :meth:`start_call` / :meth:`finish_call` split that round trip so a
+  caller coordinating *several* groups (e.g. one group per shard, as
+  :class:`repro.fleet.ForecastFleet` does) can start every group's call
+  before blocking on any reply; calls to one worker may be pipelined
+  and are answered in FIFO order;
 * a worker that dies mid-call surfaces as :class:`WorkerGroupError`
-  naming the worker, never as a hang.
+  naming the worker *and the method it was running* — never as a hang,
+  and never as a bare ``EOFError``/``BrokenPipeError`` from the pipe.
 
 The group deliberately has no retry logic: replicas are stateful, so a
 respawned worker would silently diverge — the caller owns recovery
@@ -23,6 +29,7 @@ respawned worker would silently diverge — the caller owns recovery
 from __future__ import annotations
 
 import traceback
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from .pool import _resolve_context
@@ -74,6 +81,8 @@ class WorkerGroup:
         self._connections = []
         self._processes = []
         self._closed = False
+        #: Outstanding (sent, unanswered) method names per worker, FIFO.
+        self._pending: list[deque[str]] = [deque() for _ in range(workers)]
         for worker_id in range(workers):
             parent_end, child_end = ctx.Pipe()
             process = ctx.Process(
@@ -95,15 +104,58 @@ class WorkerGroup:
     def __len__(self) -> int:
         return len(self._processes)
 
-    def _receive(self, worker_id: int, connection) -> tuple:
+    def _receive(self, worker_id: int, connection, method: str | None = None) -> tuple:
         try:
             return connection.recv()
         except (EOFError, OSError):
             code = self._processes[worker_id].exitcode
             self.close()
+            during = (
+                f" during {method!r}" if method is not None
+                else " during the startup handshake"
+            )
             raise WorkerGroupError(
-                f"group worker {worker_id} died mid-call (exitcode {code})"
+                f"group worker {worker_id} died mid-call{during} (exitcode {code})"
             ) from None
+
+    def start_call(self, worker_id: int, method: str, args: tuple = ()) -> None:
+        """Send one ``method(*args)`` call without waiting for the reply.
+
+        Pair with :meth:`finish_call`.  Calls to one worker may be
+        pipelined; the replica answers them in FIFO order.  A worker
+        that already died surfaces here as :class:`WorkerGroupError`
+        naming the worker and method (the pipe would otherwise raise a
+        bare ``BrokenPipeError``).
+        """
+        if self._closed:
+            raise WorkerGroupError("worker group is closed")
+        if not 0 <= worker_id < len(self._processes):
+            raise ValueError(
+                f"worker {worker_id} outside group 0..{len(self._processes) - 1}"
+            )
+        try:
+            self._connections[worker_id].send((method, args))
+        except (OSError, ValueError) as exc:
+            code = self._processes[worker_id].exitcode
+            self.close()
+            raise WorkerGroupError(
+                f"group worker {worker_id} died before accepting {method!r} "
+                f"(exitcode {code}): {exc}"
+            ) from None
+        self._pending[worker_id].append(method)
+
+    def finish_call(self, worker_id: int) -> Any:
+        """Receive the reply to the oldest outstanding :meth:`start_call`."""
+        if self._closed:
+            raise WorkerGroupError("worker group is closed")
+        if not self._pending[worker_id]:
+            raise WorkerGroupError(f"worker {worker_id} has no outstanding call")
+        method = self._pending[worker_id].popleft()
+        kind, payload = self._receive(worker_id, self._connections[worker_id], method)
+        if kind == "exc":
+            self.close()
+            raise WorkerGroupError(f"worker {worker_id}.{method} raised:\n{payload}")
+        return payload
 
     def scatter(self, method: str, args_per_worker: Sequence[tuple]) -> list:
         """Call ``method(*args)`` on the first ``len(args_per_worker)`` workers.
@@ -117,17 +169,13 @@ class WorkerGroup:
             raise ValueError(
                 f"{len(args_per_worker)} calls for {len(self._processes)} workers"
             )
-        active = list(enumerate(args_per_worker))
-        for worker_id, args in active:
-            self._connections[worker_id].send((method, args))
-        results = []
-        for worker_id, _ in active:
-            kind, payload = self._receive(worker_id, self._connections[worker_id])
-            if kind == "exc":
-                self.close()
-                raise WorkerGroupError(f"worker {worker_id}.{method} raised:\n{payload}")
-            results.append(payload)
-        return results
+        for worker_id, args in enumerate(args_per_worker):
+            self.start_call(worker_id, method, args)
+        return [self.finish_call(worker_id) for worker_id in range(len(args_per_worker))]
+
+    def alive(self) -> list[bool]:
+        """Liveness of every worker process (False after :meth:`close`)."""
+        return [process.is_alive() for process in self._processes]
 
     def broadcast(self, method: str, args: tuple = ()) -> list:
         """Call the same method with the same args on every worker."""

@@ -80,6 +80,14 @@ class ForecastService:
         plausibility; forecasts for quarantined segments degrade to
         naive persistence of the last *trusted* speed instead of running
         the model on a possibly poisoned window.
+    segment_range:
+        The half-open ``[lo, hi)`` sub-range of segments this service
+        *owns* when it runs as one shard replica of a
+        :class:`repro.fleet.ForecastFleet` (it may still ingest halo
+        observations outside the range so owned windows stay complete).
+        Defaults to the whole corridor; surfaced in :meth:`snapshot` so
+        fleet telemetry can aggregate replica snapshots without
+        reaching into service internals.
     clock:
         Injectable monotonic clock (tests use a fake one).
     """
@@ -91,6 +99,7 @@ class ForecastService:
         *,
         scalers: FeatureScalers | None = None,
         gate: PerturbationGate | None = None,
+        segment_range: tuple[int, int] | None = None,
         max_batch_size: int = 64,
         linger_seconds: float = 0.0,
         pad_batches: bool = True,
@@ -106,9 +115,18 @@ class ForecastService:
                 "model has no fitted feature scalers; fit() it on a dataset or "
                 "load a format-v2 checkpoint (v1 checkpoints lack scaler state)"
             )
+        if segment_range is None:
+            segment_range = (0, num_segments)
+        lo, hi = segment_range
+        if not (0 <= lo < hi <= num_segments):
+            raise ValueError(
+                f"segment_range {segment_range} is not a half-open sub-range "
+                f"of the corridor 0..{num_segments}"
+            )
         self._model = model
         self._scalers = scalers
         self.gate = gate
+        self.segment_range = (int(lo), int(hi))
         self.telemetry = Telemetry()
         self.store = SegmentStateStore(
             num_segments,
@@ -363,11 +381,21 @@ class ForecastService:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """One dict with everything an operator dashboard would scrape."""
+        """One dict with everything an operator dashboard would scrape.
+
+        Shard-aware fields (``segment_range``, ``gate_quarantined_count``)
+        let a fleet aggregate many replica snapshots without reaching
+        into service internals.
+        """
         snap = self.telemetry.snapshot()
         snap["cache"] = self.cache.stats()
         snap["model"] = self._model.name
         snap["pending_requests"] = len(self.batcher)
+        snap["segment_range"] = list(self.segment_range)
+        snap["owned_segments"] = self.segment_range[1] - self.segment_range[0]
         if self.gate is not None:
             snap["gate"] = self.gate.snapshot()
+            snap["gate_quarantined_count"] = len(snap["gate"]["quarantined_segments"])
+        else:
+            snap["gate_quarantined_count"] = 0
         return snap

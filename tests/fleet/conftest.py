@@ -1,0 +1,65 @@
+"""Shared fixtures for the fleet-layer tests.
+
+One micro model is trained and checkpointed once per session; every
+fleet in this package is rebuilt from that directory, exactly as
+production replicas would be.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import APOTS
+from repro.core import save_model
+from repro.serving import Observation
+
+
+def observation_at(series, segment_id: int, step: int) -> Observation:
+    """Build the Observation a live feed would emit for one series cell."""
+    return Observation(
+        segment_id=segment_id,
+        step=step,
+        speed_kmh=float(series.speeds[segment_id, step]),
+        event=float(series.events[segment_id, step]),
+        temperature=float(series.temperature[step]),
+        precipitation=float(series.precipitation[step]),
+        day_type=tuple(series.day_types[step]),
+    )
+
+
+def replay_ticks(fleet, series, steps) -> None:
+    """Feed every segment's observations for ``steps`` into a fleet."""
+    for step in steps:
+        fleet.ingest_many(
+            observation_at(series, segment, step)
+            for segment in range(series.num_segments)
+        )
+
+
+class FakeClock:
+    """A manually advanced monotonic clock; its ``advance`` doubles as
+    the loadgen's injectable ``sleep``."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(scope="session")
+def fleet_checkpoint(tmp_path_factory, tiny_dataset, micro_preset) -> str:
+    """A zoo checkpoint directory for a quickly fitted plain-F model."""
+    model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+    model.fit(tiny_dataset)
+    directory = tmp_path_factory.mktemp("fleet-checkpoint")
+    save_model(model, directory)
+    return str(directory)

@@ -1,0 +1,51 @@
+"""Tests for :class:`repro.fleet.AdmissionController` (bounded queues)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import AdmissionController
+
+
+class TestAdmissionController:
+    def test_admits_until_the_bound_then_sheds(self):
+        admission = AdmissionController(2, max_queue_per_shard=3)
+        assert [admission.try_admit(0, i) for i in range(5)] == [True] * 3 + [False] * 2
+        assert admission.depth(0) == 3
+        # The other shard's queue is independent.
+        assert admission.try_admit(1, "x") is True
+        assert admission.depths() == [3, 1]
+
+    def test_drain_preserves_fifo_order_and_empties(self):
+        admission = AdmissionController(1, max_queue_per_shard=8)
+        for item in "abcd":
+            admission.try_admit(0, item)
+        assert admission.drain_shard(0) == list("abcd")
+        assert admission.depth(0) == 0
+        assert admission.drain_shard(0) == []
+
+    def test_capacity_frees_after_drain(self):
+        admission = AdmissionController(1, max_queue_per_shard=2)
+        assert admission.try_admit(0, 1) and admission.try_admit(0, 2)
+        assert not admission.try_admit(0, 3)
+        admission.drain_shard(0)
+        assert admission.try_admit(0, 4)
+
+    def test_snapshot_accounts_admitted_shed_and_peaks(self):
+        admission = AdmissionController(2, max_queue_per_shard=2)
+        for i in range(4):
+            admission.try_admit(0, i)
+        admission.drain_shard(0)
+        admission.try_admit(0, "later")
+        snap = admission.snapshot()
+        assert snap["max_queue_per_shard"] == 2
+        assert snap["admitted"] == [3, 0]
+        assert snap["shed_at_admission"] == [2, 0]
+        assert snap["peak_queue_depths"] == [2, 0]
+        assert snap["queue_depths"] == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            AdmissionController(0, 4)
+        with pytest.raises(ValueError, match="max_queue_per_shard"):
+            AdmissionController(1, 0)

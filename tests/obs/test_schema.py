@@ -84,6 +84,30 @@ class TestValidateEvent:
             "pool_task_retry": envelope(
                 "pool_task_retry", task=0, attempt=0, reason="worker died (exitcode -9)"
             ),
+            "fleet_shard_lost": envelope(
+                "fleet_shard_lost",
+                shard=1,
+                method="predict_batch",
+                reason="group worker 0 died mid-call during 'predict_batch' (exitcode 21)",
+            ),
+            "fleet_shed": envelope(
+                "fleet_shed", shard=0, count=3, queue_depth=8, reason="queue full"
+            ),
+            "fleet_drain": envelope(
+                "fleet_drain", served=12, shed=3, max_queue_depth=8, duration_s=0.02
+            ),
+            "fleet_loadgen_summary": envelope(
+                "fleet_loadgen_summary",
+                rate=10.0,
+                offered=120,
+                served=100,
+                shed=20,
+                shed_rate=0.1667,
+                offered_qps=950.0,
+                served_qps=790.0,
+                p50_ms=1.2,
+                p99_ms=26.0,
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMA)
         for kind, event in samples.items():

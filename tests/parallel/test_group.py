@@ -75,6 +75,46 @@ class TestWorkerGroup:
         with pytest.raises(WorkerGroupError, match="died mid-call"):
             group.broadcast("die")
 
+    def test_worker_death_error_names_worker_and_method(self):
+        group = WorkerGroup(_Counter, 1)
+        with pytest.raises(
+            WorkerGroupError, match=r"worker 0 died mid-call during 'die'"
+        ):
+            group.broadcast("die")
+
+    def test_start_finish_pipelines_calls_in_fifo_order(self):
+        with WorkerGroup(_Counter, 2) as group:
+            # Two pipelined calls to worker 0, one to worker 1, all sent
+            # before any reply is read.
+            group.start_call(0, "add", (1,))
+            group.start_call(0, "add", (10,))
+            group.start_call(1, "add", (5,))
+            assert group.finish_call(1) == 5
+            assert group.finish_call(0) == 1
+            assert group.finish_call(0) == 11
+
+    def test_finish_without_start_is_an_error(self):
+        with WorkerGroup(_Counter, 1) as group:
+            with pytest.raises(WorkerGroupError, match="no outstanding call"):
+                group.finish_call(0)
+
+    def test_start_call_validates_worker_id(self):
+        with WorkerGroup(_Counter, 1) as group:
+            with pytest.raises(ValueError, match="outside group"):
+                group.start_call(1, "add", (1,))
+
+    def test_start_call_on_dead_worker_names_the_method(self):
+        group = WorkerGroup(_Counter, 1)
+        group.start_call(0, "die")
+        with pytest.raises(WorkerGroupError, match="died mid-call during 'die'"):
+            group.finish_call(0)
+
+    def test_alive_tracks_worker_processes(self):
+        group = WorkerGroup(_Counter, 2)
+        assert group.alive() == [True, True]
+        group.close()
+        assert group.alive() == [False, False]
+
     def test_factory_failure_raises_at_construction(self):
         with pytest.raises(WorkerGroupError, match="factory failed"):
             WorkerGroup(_FailingFactory(), 2)

@@ -47,6 +47,7 @@ def run_example(name: str, argv: list[str]) -> None:
         "bring_your_own_data.py",
         "route_guidance.py",
         "serve_forecasts.py",
+        "fleet_serving.py",
     ],
 )
 def test_example_runs(script, capsys):

@@ -26,9 +26,15 @@ serving path deployable without dragging the offline experiment harness
   would be a cycle
 * ``repro.parallel`` may import only ``repro.obs`` (it ships arbitrary
   picklable work, so depending on any compute layer would be a cycle);
-  of the compute layers only ``core`` / ``attacks`` / ``experiments``
-  (and tools) may import ``repro.parallel`` — the serving path stays
-  single-process and the low layers stay substrate-free
+  of the compute layers only ``core`` / ``attacks`` / ``experiments`` /
+  ``fleet`` (and tools) may import ``repro.parallel`` — the
+  single-process serving path and the low layers stay substrate-free
+* ``repro.fleet``    sits at the top of the serving stack: it may import
+  ``repro.serving`` / ``repro.parallel`` / ``repro.obs`` (plus the
+  ``repro.attacks.defense`` gate and the ``repro.core.zoo`` checkpoint
+  loader via carve-outs) but nothing else; and nothing imports
+  ``repro.fleet`` except ``repro.experiments`` and tools — replicas are
+  plain serving processes that must not know they are being fleeted
 
 Run directly or via ``tools/ci.sh``::
 
@@ -50,6 +56,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.baselines",
         "repro.attacks",
         "repro.parallel",
+        "repro.fleet",
     ),
     "repro.attacks": (
         "repro.core",
@@ -58,6 +65,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.serving",
         "repro.experiments",
         "repro.baselines",
+        "repro.fleet",
     ),
     "repro.core": (
         "repro.attacks",
@@ -65,8 +73,15 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.experiments",
         "repro.baselines",
         "repro.traffic",
+        "repro.fleet",
     ),
-    "repro.data": ("repro.core", "repro.serving", "repro.experiments", "repro.parallel"),
+    "repro.data": (
+        "repro.core",
+        "repro.serving",
+        "repro.experiments",
+        "repro.parallel",
+        "repro.fleet",
+    ),
     "repro.nn": (
         "repro.core",
         "repro.data",
@@ -76,6 +91,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.baselines",
         "repro.obs",
         "repro.parallel",
+        "repro.fleet",
     ),
     "repro.obs": (
         "repro.core",
@@ -85,6 +101,7 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.traffic",
         "repro.baselines",
         "repro.parallel",
+        "repro.fleet",
     ),
     "repro.parallel": (
         "repro.core",
@@ -92,6 +109,18 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.serving",
         "repro.experiments",
         "repro.traffic",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.nn",
+        "repro.metrics",
+        "repro.routing",
+        "repro.fleet",
+    ),
+    "repro.fleet": (
+        "repro.core",
+        "repro.data",
+        "repro.traffic",
+        "repro.experiments",
         "repro.baselines",
         "repro.attacks",
         "repro.nn",
@@ -119,6 +148,11 @@ ALLOWED: dict[str, tuple[str, ...]] = {
         "repro.attacks.gradients",
         "repro.attacks.whitebox",
     ),
+    # The fleet mirrors serving's gate carve-out (replicas screen their
+    # own halo streams) and loads checkpoints through the zoo; the rest
+    # of core — trainers, tuning, the APOTS facade — stays out of the
+    # fleet parent and its replica images.
+    "repro.fleet": ("repro.attacks.defense", "repro.core.zoo"),
 }
 
 
