@@ -75,17 +75,36 @@ class PlausibilityBox:
         # cross; collapse to the nearest feasible point instead of
         # producing an inverted interval.
         lo = np.minimum(lo, hi)
-        delta = np.clip(delta, lo, hi)
+        # clip == minimum(maximum(x, lo), hi) elementwise; two direct
+        # ufunc dispatches (np.clip routes through several Python
+        # wrapper frames per call), in place — delta is this function's
+        # own fresh array.
+        np.maximum(delta, lo, out=delta)
+        np.minimum(delta, hi, out=delta)
         if self.max_step_kmh is not None:
             # One forward pass: each tick's perturbation may move at most
             # max_step_kmh away from the previous tick's, within the box.
+            # The recurrence is sequential along time, so keep the loop
+            # but reuse two scratch rows instead of allocating per tick.
             step = self.max_step_kmh
+            scratch = np.empty(delta.shape[:-1], dtype=np.float64)
             for t in range(1, delta.shape[-1]):
                 previous = delta[..., t - 1]
-                step_lo = np.maximum(lo[..., t], previous - step)
-                step_hi = np.minimum(hi[..., t], previous + step)
-                step_lo = np.minimum(step_lo, step_hi)
-                delta[..., t] = np.clip(delta[..., t], step_lo, step_hi)
+                current = delta[..., t]
+                # The box clamp above already left current >= lo[..., t],
+                # so the lower rate bound max(lo_t, previous - step)
+                # reduces to previous - step: max(c, max(lo_t, p - s))
+                # == max(c, p - s) whenever c >= lo_t.  The upper bound
+                # still needs both terms, and the collapsed-interval
+                # cases (p - s > hi_t, or p + s < lo_t) land on the same
+                # value either way — the min chain picks hi_t in the
+                # first and p + s in the second, exactly as clamping
+                # with a collapsed interval would.
+                np.subtract(previous, step, out=scratch)
+                np.maximum(current, scratch, out=current)
+                np.add(previous, step, out=scratch)
+                np.minimum(hi[..., t], scratch, out=scratch)
+                np.minimum(current, scratch, out=current)
         return reference + delta
 
     def contains(self, speeds_kmh: np.ndarray, reference_kmh: np.ndarray, tol: float = 1e-9) -> bool:

@@ -115,6 +115,7 @@ class AdversarialAugmenter:
         pgd_steps: int = 3,
         max_step_kmh: float | None = 10.0,
         seed: int = 0,
+        compile: bool = False,
     ):
         if scalers is None:
             raise ValueError(
@@ -145,6 +146,24 @@ class AdversarialAugmenter:
         self.pgd_steps = int(pgd_steps)
         self.max_step_kmh = max_step_kmh
         self.seed = int(seed)
+        # Compiled gradient/forward engines are held once here (attacks
+        # are rebuilt per batch for their constraint, so per-attack tapes
+        # would never get past their validation calls).
+        self._gradient_fn = None
+        self._cf_predict = None
+        self._predictor_modules = None
+        if compile:
+            from ..attacks.gradients import CompiledInputGradient
+            from ..nn.compile import CompiledFunction
+
+            self._gradient_fn = CompiledInputGradient(predictor)
+
+            def predict_fn(images, day_types, flat):
+                return predictor.forward(images, day_types, flat)
+
+            self._cf_predict = CompiledFunction(
+                predict_fn, name="augment_predict", forward_only=True
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -161,6 +180,7 @@ class AdversarialAugmenter:
             pgd_steps=spec.adv_pgd_steps,
             max_step_kmh=spec.adv_max_step_kmh,
             seed=spec.seed,
+            compile=spec.compile,
         )
 
     # ------------------------------------------------------------------
@@ -179,15 +199,39 @@ class AdversarialAugmenter:
 
     def _build_attack(self, constraint: PlausibilityBox, attack_seed: int):
         if self.attack == "fgsm":
-            return FGSMAttack(self.predictor, self.scalers, constraint)
+            return FGSMAttack(
+                self.predictor, self.scalers, constraint,
+                gradient_fn=self._gradient_fn,
+            )
         return PGDAttack(
             self.predictor, self.scalers, constraint,
             steps=self.pgd_steps, seed=attack_seed,
+            gradient_fn=self._gradient_fn,
         )
 
     def _mse(self, images: np.ndarray, day_types: np.ndarray, targets: np.ndarray) -> float:
         """Grad-free mean squared scaled error on a sub-batch."""
         flat = flatten_windows(images, day_types)
+        # The compiled forward covers one predict() chunk; larger batches
+        # would change the BLAS call pattern, so they stay on the eager
+        # chunked path.
+        if self._cf_predict is not None and len(flat) <= 1024:
+            # Inline eval()/train() over a cached module list — the
+            # recursive walk is measurable at attack-loop frequency, and
+            # the augmenter's predictor structure is fixed for its life.
+            if self._predictor_modules is None:
+                self._predictor_modules = list(self.predictor.modules())
+            was_training = self.predictor.training
+            for module in self._predictor_modules:
+                object.__setattr__(module, "training", False)
+            try:
+                run = self._cf_predict(images, day_types, flat)
+            finally:
+                if was_training:
+                    for module in self._predictor_modules:
+                        object.__setattr__(module, "training", True)
+            prediction = run.outputs[0].data
+            return float(np.mean((prediction - targets) ** 2))
         prediction = self.predictor.predict(images, day_types, flat)
         return float(np.mean((prediction - targets) ** 2))
 
@@ -215,10 +259,19 @@ class AdversarialAugmenter:
         sub_images = images[rows]
         sub_day_types = day_types[rows]
         sub_targets = targets[rows]
-        clean_loss = self._mse(sub_images, sub_day_types, sub_targets)
         constraint = PlausibilityBox(epsilon_kmh=epsilon, max_step_kmh=self.max_step_kmh)
         attack = self._build_attack(constraint, int(rng.integers(0, 2**63 - 1)))
         result = attack.perturb(sub_images, sub_day_types, sub_targets)
+        if self.attack == "fgsm":
+            # FGSM's recorded loss is the *clean* summed squared error on
+            # exactly this sub-batch (one gradient call, taken before the
+            # step), so the clean forward need not run twice: np.mean is
+            # the same pairwise sum followed by one division by the count.
+            clean_loss = result.losses[0] / sub_targets.size
+        else:
+            # PGD's first loss sits at the random start, not the clean
+            # window; keep the explicit clean forward.
+            clean_loss = self._mse(sub_images, sub_day_types, sub_targets)
         robust_loss = self._mse(result.images, sub_day_types, sub_targets)
         adv_images = np.array(images, dtype=np.float64, copy=True)
         adv_images[rows] = result.images

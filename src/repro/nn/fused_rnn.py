@@ -5,12 +5,22 @@ graph nodes per timestep; at alpha = 12 steps and 2 layers a single
 training step touches ~1500 Python closures, which dominates wall time
 on small models.  This module implements the same math as one primitive
 with a hand-written backward-through-time, cutting the per-step node
-count to one per layer.
+count to one per layer.  The whole gate chain (two matmuls, three
+sigmoids, two tanhs and the cell update) lives in one kernel — this is
+the "fused LSTM-gate chain" the compiled replay path reuses verbatim.
 
 Semantics: gradients flow through the returned *output sequence* only.
 The final (h, c) values are returned as plain arrays for state
 threading; callers needing gradients through the final hidden state
 should slice ``outputs[:, -1, :]`` (identical values).
+
+Initial-state contract: ``h0`` / ``c0`` are **values**, not graph
+nodes.  They may be plain arrays or non-grad Tensors; passing a
+``requires_grad`` Tensor raises, because this primitive returns no
+gradient for them — accepting one would silently truncate BPTT at the
+window boundary when chaining windows through a carried hidden state.
+Use the unfused ``LSTM(fused=False)`` path when the initial state must
+be differentiable.
 """
 
 from __future__ import annotations
@@ -23,13 +33,82 @@ from .tensor import Tensor
 __all__ = ["lstm_layer_forward"]
 
 
+def _as_state_array(state: "np.ndarray | Tensor | None", batch: int, hidden: int, name: str) -> np.ndarray:
+    """Validate an initial-state argument and return it as a float64 array."""
+    if state is None:
+        return np.zeros((batch, hidden), dtype=np.float64)
+    if isinstance(state, Tensor):
+        if state.requires_grad:
+            raise ValueError(
+                f"lstm_layer_forward received a requires_grad Tensor as {name}: "
+                "the fused LSTM backward returns gradients only for "
+                "(x, weight_ih, weight_hh, bias), so a differentiable initial "
+                "state would be silently truncated out of BPTT. Pass plain "
+                "values (array or non-grad Tensor), or use LSTM(fused=False) "
+                "to keep a gradient path through the carried state."
+            )
+        state = state.data
+    return np.asarray(state, dtype=np.float64)
+
+
+def _lstm_forward_kernel(
+    x_data: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    b: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    gates_x: np.ndarray,
+    outputs: np.ndarray,
+    caches: dict[str, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the gate chain, filling ``outputs`` / ``caches`` in place.
+
+    Shared by the eager op (fresh buffers) and the compiled replay path
+    (record-time buffers) so both produce bit-identical activations.
+    ``h`` / ``c`` are read, never written.  Returns the final state.
+    """
+    steps = x_data.shape[1]
+    hidden = w_hh.shape[1]
+    # Input contribution for every step at once: (B, T, 4H).
+    np.matmul(x_data, w_ih.T, out=gates_x)
+    gates_x += b
+    i_cache = caches["i"]
+    f_cache = caches["f"]
+    g_cache = caches["g"]
+    o_cache = caches["o"]
+    c_prev_cache = caches["c_prev"]
+    tanh_c_cache = caches["tanh_c"]
+    h_prev_cache = caches["h_prev"]
+
+    for t in range(steps):
+        gates = gates_x[:, t, :] + h @ w_hh.T
+        i_gate = _sigmoid(gates[:, 0 * hidden : 1 * hidden])
+        f_gate = _sigmoid(gates[:, 1 * hidden : 2 * hidden])
+        g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o_gate = _sigmoid(gates[:, 3 * hidden : 4 * hidden])
+        c_prev_cache[:, t] = c
+        h_prev_cache[:, t] = h
+        c = f_gate * c + i_gate * g_gate
+        tanh_c = np.tanh(c)
+        h = o_gate * tanh_c
+        outputs[:, t] = h
+        i_cache[:, t] = i_gate
+        f_cache[:, t] = f_gate
+        g_cache[:, t] = g_gate
+        o_cache[:, t] = o_gate
+        tanh_c_cache[:, t] = tanh_c
+
+    return h.copy(), c.copy()
+
+
 def lstm_layer_forward(
     x: Tensor,
     weight_ih: Tensor,
     weight_hh: Tensor,
     bias: Tensor,
-    h0: np.ndarray | None = None,
-    c0: np.ndarray | None = None,
+    h0: "np.ndarray | Tensor | None" = None,
+    c0: "np.ndarray | Tensor | None" = None,
 ) -> tuple[Tensor, np.ndarray, np.ndarray]:
     """Run one LSTM layer over a (B, T, I) sequence in a single graph node.
 
@@ -41,7 +120,9 @@ def lstm_layer_forward(
         Gate parameters with the LSTMCell layout: (4H, I), (4H, H), (4H,)
         in [input, forget, cell, output] order.
     h0, c0:
-        Optional initial state arrays, shape (batch, H); zeros if omitted.
+        Optional initial state *values*, shape (batch, H); zeros if
+        omitted.  Arrays or non-grad Tensors only — a ``requires_grad``
+        Tensor raises (see the module docstring for the contract).
 
     Returns
     -------
@@ -63,41 +144,27 @@ def lstm_layer_forward(
     w_hh = weight_hh.data
     b = bias.data
 
-    h = np.zeros((batch, hidden)) if h0 is None else np.asarray(h0, dtype=np.float64)
-    c = np.zeros((batch, hidden)) if c0 is None else np.asarray(c0, dtype=np.float64)
+    h = _as_state_array(h0, batch, hidden, "h0")
+    c = _as_state_array(c0, batch, hidden, "c0")
 
-    # Input contribution for every step at once: (B, T, 4H).
-    gates_x = x_data @ w_ih.T + b
+    gates_x = np.empty((batch, steps, 4 * hidden), dtype=np.float64)
+    outputs = np.empty((batch, steps, hidden), dtype=np.float64)
+    # Caches for backward (refreshed in place on compiled replay).
+    caches = {
+        name: np.empty((batch, steps, hidden), dtype=np.float64)
+        for name in ("i", "f", "g", "o", "c_prev", "tanh_c", "h_prev")
+    }
 
-    outputs = np.empty((batch, steps, hidden))
-    # Caches for backward.
-    i_cache = np.empty((batch, steps, hidden))
-    f_cache = np.empty((batch, steps, hidden))
-    g_cache = np.empty((batch, steps, hidden))
-    o_cache = np.empty((batch, steps, hidden))
-    c_prev_cache = np.empty((batch, steps, hidden))
-    tanh_c_cache = np.empty((batch, steps, hidden))
-    h_prev_cache = np.empty((batch, steps, hidden))
-
-    for t in range(steps):
-        gates = gates_x[:, t, :] + h @ w_hh.T
-        i_gate = _sigmoid(gates[:, 0 * hidden : 1 * hidden])
-        f_gate = _sigmoid(gates[:, 1 * hidden : 2 * hidden])
-        g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
-        o_gate = _sigmoid(gates[:, 3 * hidden : 4 * hidden])
-        c_prev_cache[:, t] = c
-        h_prev_cache[:, t] = h
-        c = f_gate * c + i_gate * g_gate
-        tanh_c = np.tanh(c)
-        h = o_gate * tanh_c
-        outputs[:, t] = h
-        i_cache[:, t] = i_gate
-        f_cache[:, t] = f_gate
-        g_cache[:, t] = g_gate
-        o_cache[:, t] = o_gate
-        tanh_c_cache[:, t] = tanh_c
-
-    h_final, c_final = h.copy(), c.copy()
+    h_final, c_final = _lstm_forward_kernel(
+        x_data, w_ih, w_hh, b, h, c, gates_x, outputs, caches
+    )
+    i_cache = caches["i"]
+    f_cache = caches["f"]
+    g_cache = caches["g"]
+    o_cache = caches["o"]
+    c_prev_cache = caches["c_prev"]
+    tanh_c_cache = caches["tanh_c"]
+    h_prev_cache = caches["h_prev"]
 
     def backward(grad_out: np.ndarray):
         """BPTT over the cached gate activations."""
@@ -105,9 +172,9 @@ def lstm_layer_forward(
         grad_w_ih = np.zeros_like(w_ih, dtype=np.float64)
         grad_w_hh = np.zeros_like(w_hh, dtype=np.float64)
         grad_b = np.zeros_like(b, dtype=np.float64)
-        dh_next = np.zeros((batch, hidden))
-        dc_next = np.zeros((batch, hidden))
-        dgates = np.empty((batch, 4 * hidden))
+        dh_next = np.zeros((batch, hidden), dtype=np.float64)
+        dc_next = np.zeros((batch, hidden), dtype=np.float64)
+        dgates = np.empty((batch, 4 * hidden), dtype=np.float64)
 
         for t in range(steps - 1, -1, -1):
             i_gate = i_cache[:, t]
@@ -137,5 +204,11 @@ def lstm_layer_forward(
 
         return grad_x, grad_w_ih, grad_w_hh, grad_b
 
-    out = Tensor._make(outputs, (x, weight_ih, weight_hh, bias), backward, "lstm_fused")
+    out = Tensor._make(
+        outputs,
+        (x, weight_ih, weight_hh, bias),
+        backward,
+        "lstm_fused",
+        {"gates_x": gates_x, "caches": caches, "h0": h.copy(), "c0": c.copy()},
+    )
     return out, h_final, c_final

@@ -151,7 +151,13 @@ class LSTM(Module):
     def _forward_fused(
         self, x: Tensor, state: list[tuple[Tensor, Tensor]]
     ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
-        """Layer-by-layer fused pass (see class docstring for semantics)."""
+        """Layer-by-layer fused pass (see class docstring for semantics).
+
+        Initial state is passed through as Tensors so the fused primitive
+        can enforce its value-only contract: a ``requires_grad`` state
+        raises instead of being silently cut out of BPTT (use
+        ``fused=False`` for a differentiable carried state).
+        """
         from ..fused_rnn import lstm_layer_forward
 
         layer_input = x
@@ -159,7 +165,7 @@ class LSTM(Module):
         for layer, cell in enumerate(self.cells):
             h0, c0 = state[layer]
             layer_input, h_final, c_final = lstm_layer_forward(
-                layer_input, cell.weight_ih, cell.weight_hh, cell.bias, h0.data, c0.data
+                layer_input, cell.weight_ih, cell.weight_hh, cell.bias, h0, c0
             )
             new_state.append((Tensor(h_final), Tensor(c_final)))
         return layer_input, new_state

@@ -6,8 +6,11 @@ offline, so we implement the minimum viable engine ourselves: a ``Tensor``
 wrapping a ``numpy.ndarray``, a dynamically-built computation graph, and
 reverse-mode backpropagation over a topological ordering of that graph.
 
-Only float64 / float32 arrays flow through the graph.  Gradients are plain
-numpy arrays stored on leaf (and, on request, interior) tensors.
+Only float64 arrays flow through the graph — ``Tensor`` promotes every
+other dtype on construction and :meth:`Tensor._make` rejects non-float64
+op results, so the preallocated replay buffers of :mod:`repro.nn.compile`
+can never bake in a mixed-precision graph.  Gradients are plain numpy
+arrays stored on leaf (and, on request, interior) tensors.
 
 Example
 -------
@@ -29,6 +32,20 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
 _GRAD_ENABLED = True
+
+#: Callable invoked for every op result while recording, or None.
+#: Installed by :mod:`repro.nn.compile`; receives ``(out, parents, op,
+#: meta)`` where ``meta`` is the op's static/derived replay state.
+#: Parents and op are passed explicitly because *value* nodes (no
+#: grad-requiring parent) carry no tape yet still need replaying — e.g.
+#: concatenating a detached sequence with a condition input.
+_TRACE_HOOK: Callable[..., None] | None = None
+
+
+def _set_trace_hook(hook: Callable[..., None] | None) -> None:
+    """Install (or clear, with None) the graph-recording hook."""
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
 
 
 @contextlib.contextmanager
@@ -80,21 +97,28 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts.  Integer input is promoted to
-        float64 so gradients are well-defined.
+        Anything ``numpy.asarray`` accepts.  Every dtype other than
+        float64 (ints, bools, float32, ...) is promoted to float64: the
+        substrate pins a single dtype policy so gradients are
+        well-defined and replay buffers are homogeneous.  float64 input
+        is wrapped without a copy (``detach()`` relies on the shared
+        buffer).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "_op", "_grad_buf"
+    )
 
     def __init__(self, data, requires_grad: bool = False):
         array = np.asarray(data)
-        if array.dtype.kind in "iub":
+        if array.dtype != np.float64:
             array = array.astype(np.float64)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
+        self._grad_buf: np.ndarray | None = None
         # Inside no_grad() the flag is silently dropped: the leaf will
         # never record a tape, and backward() would leave .grad = None.
         # Callers that require input gradients must check
@@ -161,21 +185,58 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
         op: str = "",
+        meta: dict | None = None,
     ) -> "Tensor":
-        """Create a graph node; drops the tape when grad is disabled."""
-        out = cls(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = tuple(parents)
-            out._backward = backward
-            out._op = op
+        """Create a graph node; drops the tape when grad is disabled.
+
+        ``meta`` carries the op's replay state for :mod:`repro.nn.compile`:
+        static arguments (axes, bounds) plus any *derived* arrays the
+        backward closure captured (masks, scales) so a replay can refresh
+        them in place.  It is ignored on the eager path.
+
+        Every op must produce float64 — the one dtype the substrate
+        allows through the graph (leaf construction promotes, so a
+        violation here means an op implementation dropped precision).
+        """
+        array = np.asarray(data)
+        if array.dtype != np.float64:
+            raise TypeError(
+                f"op {op or '<anonymous>'!r} produced dtype {array.dtype}; "
+                "repro.nn pins a single float64 policy for all graph nodes"
+            )
+        out = cls(array)
+        if _GRAD_ENABLED:
+            if any(p.requires_grad for p in parents):
+                out.requires_grad = True
+                out._parents = tuple(parents)
+                out._backward = backward
+                out._op = op
+            if _TRACE_HOOK is not None:
+                _TRACE_HOOK(out, tuple(parents), op, meta)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        """Add ``grad`` into ``self.grad`` (allocating on first use).
+
+        The buffer is cached across ``zero_grad()`` cycles: a training
+        step allocates each leaf's gradient array once, then every later
+        backward refills it in place.  ``grad + 0.0`` is the same float
+        arithmetic as ``zeros + grad`` (addition is commutative bitwise,
+        including signed zeros and NaN payloads), done in one pass.
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
-        self.grad += grad
+            buf = self._grad_buf
+            if buf is None or buf.shape != self.data.shape:
+                buf = np.empty(self.data.shape, dtype=np.float64)
+                self._grad_buf = buf
+            if np.shape(grad) == buf.shape:
+                np.add(grad, 0.0, out=buf)
+            else:
+                buf.fill(0.0)
+                buf += grad
+            self.grad = buf
+        else:
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -184,7 +245,10 @@ class Tensor:
         ----------
         grad:
             Gradient of the final objective w.r.t. this tensor.  Defaults
-            to 1 for scalar tensors (the common loss case).
+            to 1 for scalar tensors (the common loss case).  A supplied
+            seed must match ``self.shape`` exactly; only 0-d scalars are
+            broadcast.  (Silently broadcasting would accept a transposed
+            or mis-shaped seed and propagate wrong gradients.)
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -194,7 +258,13 @@ class Tensor:
             grad = np.ones_like(self.data, dtype=np.float64)
         else:
             grad = np.asarray(grad, dtype=np.float64)
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            if grad.ndim == 0:
+                grad = np.broadcast_to(grad, self.data.shape).copy()
+            elif grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}; only scalar (0-d) seeds are broadcast"
+                )
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
@@ -302,7 +372,7 @@ class Tensor:
         def backward(grad):
             return (grad * exponent * np.power(a, exponent - 1),)
 
-        return Tensor._make(np.power(a, exponent), (self,), backward, "pow")
+        return Tensor._make(np.power(a, exponent), (self,), backward, "pow", {"exponent": exponent})
 
     # ------------------------------------------------------------------
     # Matrix ops
@@ -378,7 +448,7 @@ class Tensor:
         def backward(grad):
             return (grad * mask,)
 
-        return Tensor._make(self.data * mask, (self,), backward, "relu")
+        return Tensor._make(self.data * mask, (self,), backward, "relu", {"mask": mask})
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
@@ -387,7 +457,13 @@ class Tensor:
         def backward(grad):
             return (grad * scale,)
 
-        return Tensor._make(self.data * scale, (self,), backward, "leaky_relu")
+        return Tensor._make(
+            self.data * scale,
+            (self,),
+            backward,
+            "leaky_relu",
+            {"scale": scale, "slope": negative_slope},
+        )
 
     def abs(self) -> "Tensor":
         # Treat 0 as positive so composite losses (e.g. BCE-with-logits,
@@ -397,7 +473,7 @@ class Tensor:
         def backward(grad):
             return (grad * sign,)
 
-        return Tensor._make(np.abs(self.data), (self,), backward, "abs")
+        return Tensor._make(np.abs(self.data), (self,), backward, "abs", {"sign": sign})
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient is passed through inside the interval."""
@@ -406,7 +482,13 @@ class Tensor:
         def backward(grad):
             return (grad * mask,)
 
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward, "clip")
+        return Tensor._make(
+            np.clip(self.data, low, high),
+            (self,),
+            backward,
+            "clip",
+            {"mask": mask, "low": low, "high": high},
+        )
 
     # ------------------------------------------------------------------
     # Reductions
@@ -422,7 +504,13 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             return (np.broadcast_to(g, shape).copy(),)
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward, "sum")
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            (self,),
+            backward,
+            "sum",
+            {"axis": axis, "keepdims": keepdims},
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         shape = self.data.shape
@@ -440,7 +528,13 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             return (np.broadcast_to(g, shape).copy(),)
 
-        return Tensor._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward, "mean")
+        return Tensor._make(
+            self.data.mean(axis=axis, keepdims=keepdims),
+            (self,),
+            backward,
+            "mean",
+            {"axis": axis, "keepdims": keepdims},
+        )
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
@@ -457,7 +551,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             return (g * mask / counts,)
 
-        return Tensor._make(out_data, (self,), backward, "max")
+        return Tensor._make(out_data, (self,), backward, "max", {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -482,7 +576,7 @@ class Tensor:
         def backward(grad):
             return (grad.transpose(inverse),)
 
-        return Tensor._make(self.data.transpose(axes), (self,), backward, "transpose")
+        return Tensor._make(self.data.transpose(axes), (self,), backward, "transpose", {"axes": axes})
 
     @property
     def T(self) -> "Tensor":
@@ -496,7 +590,7 @@ class Tensor:
             np.add.at(full, index, grad)
             return (full,)
 
-        return Tensor._make(self.data[index], (self,), backward, "getitem")
+        return Tensor._make(self.data[index], (self,), backward, "getitem", {"index": index})
 
     def squeeze(self, axis: int | None = None) -> "Tensor":
         original = self.data.shape

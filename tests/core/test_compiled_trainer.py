@@ -1,0 +1,126 @@
+"""End-to-end bitwise parity of ``compile=True`` training and attacks.
+
+``spec.compile`` swaps the hot loops onto tape replay
+(:mod:`repro.nn.compile`); the contract is that nothing observable
+changes — loss histories, final weights and attack perturbations must
+be *bitwise* identical to the eager run, not merely close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APOTSTrainer, Discriminator, TrainSpec, build_predictor, table1_spec
+from repro.core.trainer import SupervisedTrainer
+
+
+def state_bytes(module):
+    return {k: (v.shape, v.tobytes()) for k, v in module.state_dict().items()}
+
+
+def history_bytes(history):
+    return repr(vars(history))
+
+
+def fresh_predictor(kind, dataset, seed=0):
+    rng = np.random.default_rng(seed)
+    return build_predictor(kind, dataset.config, spec=table1_spec(kind, 0.05), rng=rng)
+
+
+def fresh_pair(kind, dataset, conditional, seed=0):
+    rng = np.random.default_rng(seed)
+    predictor = build_predictor(kind, dataset.config, spec=table1_spec(kind, 0.05), rng=rng)
+    disc = Discriminator(
+        dataset.config, spec=table1_spec(kind, 0.05), conditional=conditional, rng=rng
+    )
+    return predictor, disc
+
+
+class TestSupervisedParity:
+    @pytest.mark.parametrize("kind", ["F", "L"])
+    def test_compiled_fit_is_bitwise_identical(self, tiny_dataset, kind):
+        results = {}
+        for compiled in (False, True):
+            predictor = fresh_predictor(kind, tiny_dataset)
+            spec = TrainSpec(
+                epochs=2, batch_size=32, max_steps_per_epoch=4, compile=compiled, seed=3
+            )
+            trainer = SupervisedTrainer(predictor, spec)
+            history = trainer.fit(tiny_dataset)
+            results[compiled] = (history_bytes(history), state_bytes(predictor))
+            if compiled:
+                assert trainer._compiled_step is not None
+                assert trainer._compiled_step.stats["replay"] > 0
+        assert results[False] == results[True]
+
+
+class TestAPOTSParity:
+    @pytest.mark.parametrize(
+        "kind,conditional", [("F", True), ("F", False), ("L", True)]
+    )
+    def test_compiled_fit_is_bitwise_identical(self, tiny_dataset, kind, conditional):
+        results = {}
+        for compiled in (False, True):
+            predictor, disc = fresh_pair(kind, tiny_dataset, conditional)
+            spec = TrainSpec(
+                epochs=2,
+                adversarial_batch_size=8,
+                max_steps_per_epoch=4,
+                discriminator_steps=2,
+                compile=compiled,
+                seed=3,
+            )
+            trainer = APOTSTrainer(predictor, disc, spec)
+            history = trainer.fit(tiny_dataset)
+            results[compiled] = (
+                history_bytes(history),
+                state_bytes(predictor),
+                state_bytes(disc),
+            )
+            if compiled:
+                assert trainer._cf_roll.stats["replay"] > 0
+                assert trainer._cf_dstep.stats["replay"] > 0
+                assert trainer._cf_ploss.stats["replay"] > 0
+        assert results[False] == results[True]
+
+
+class TestAugmentedParity:
+    @pytest.mark.parametrize("attack", ["fgsm", "pgd"])
+    def test_robust_supervised_fit_is_bitwise_identical(self, tiny_dataset, attack):
+        results = {}
+        for compiled in (False, True):
+            predictor = fresh_predictor("F", tiny_dataset)
+            spec = TrainSpec(
+                epochs=2,
+                batch_size=16,
+                max_steps_per_epoch=3,
+                robust_fraction=0.5,
+                adv_attack=attack,
+                adv_pgd_steps=2,
+                compile=compiled,
+                seed=7,
+            )
+            trainer = SupervisedTrainer(predictor, spec)
+            history = trainer.fit(tiny_dataset)
+            results[compiled] = (history_bytes(history), state_bytes(predictor))
+        assert results[False] == results[True]
+
+    def test_robust_apots_fit_is_bitwise_identical(self, tiny_dataset):
+        results = {}
+        for compiled in (False, True):
+            predictor, disc = fresh_pair("F", tiny_dataset, conditional=True)
+            spec = TrainSpec(
+                epochs=2,
+                adversarial_batch_size=8,
+                max_steps_per_epoch=3,
+                robust_fraction=0.5,
+                adv_attack="fgsm",
+                compile=compiled,
+                seed=7,
+            )
+            history = APOTSTrainer(predictor, disc, spec).fit(tiny_dataset)
+            results[compiled] = (
+                history_bytes(history),
+                state_bytes(predictor),
+                state_bytes(disc),
+            )
+        assert results[False] == results[True]

@@ -78,6 +78,17 @@ class TestPrimitiveValidation:
         with pytest.raises(ValueError, match="inconsistent"):
             lstm_layer_forward(nn.Tensor(np.ones((1, 2, 2))), w_ih, w_hh, bad_bias)
 
+    def test_rejects_requires_grad_initial_state(self):
+        # The fused backward returns no gradient for h0/c0; a
+        # differentiable state would silently drop out of BPTT.
+        w_ih, w_hh, b = self._params()
+        x = nn.Tensor(np.ones((2, 4, 2)))
+        grad_state = nn.Tensor(np.zeros((2, 3)), requires_grad=True)
+        with pytest.raises(ValueError, match="requires_grad Tensor as h0"):
+            lstm_layer_forward(x, w_ih, w_hh, b, h0=grad_state)
+        with pytest.raises(ValueError, match="requires_grad Tensor as c0"):
+            lstm_layer_forward(x, w_ih, w_hh, b, c0=grad_state)
+
     def test_returns_final_state_values(self):
         w_ih, w_hh, b = self._params()
         x = nn.Tensor(np.random.default_rng(4).normal(size=(2, 4, 2)))

@@ -126,6 +126,20 @@ class TestBackward:
         (x * 3.0).backward(np.array([1.0, 10.0]))
         np.testing.assert_allclose(x.grad, [3.0, 30.0])
 
+    def test_backward_rejects_mis_shaped_seed(self):
+        # A transposed or broadcastable-but-wrong seed must raise, not
+        # silently propagate wrong gradients.
+        x = nn.Tensor(np.ones((2, 3)), requires_grad=True)
+        with pytest.raises(ValueError, match="seed gradient shape"):
+            (x * 2.0).backward(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="seed gradient shape"):
+            (x * 2.0).backward(np.ones(3))
+
+    def test_backward_broadcasts_zero_dim_seed(self):
+        x = nn.Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.float64(2.0))
+        np.testing.assert_allclose(x.grad, [6.0, 6.0])
+
     def test_backward_on_non_grad_tensor_raises(self):
         with pytest.raises(RuntimeError):
             nn.Tensor([1.0]).backward()

@@ -155,6 +155,18 @@ ALLOWED: dict[str, tuple[str, ...]] = {
     "repro.fleet": ("repro.attacks.defense", "repro.core.zoo"),
 }
 
+#: Module -> importer prefixes that may reach it.  Unlike FORBIDDEN
+#: (which bans layers wholesale) this pins a single internal module to a
+#: short list of owners.  The compiled-tape replayer is an engine detail
+#: of the autograd substrate: only repro.nn itself and the two hot-loop
+#: layers (core trainers, attacks) may import it, so everything else
+#: goes through the public eager API and the replay surface can change
+#: without a repo-wide audit.  Note it is deliberately NOT exported from
+#: ``repro.nn.__init__``.
+RESTRICTED_IMPORTERS: dict[str, tuple[str, ...]] = {
+    "repro.nn.compile": ("repro.nn", "repro.core", "repro.attacks"),
+}
+
 
 def module_name(path: Path) -> str:
     relative = path.relative_to(SRC).with_suffix("")
@@ -188,6 +200,20 @@ def check() -> list[str]:
     violations: list[str] = []
     for path in sorted(SRC.glob("repro/**/*.py")):
         module = module_name(path)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        imports = imported_modules(tree, module)
+        for target, importers in RESTRICTED_IMPORTERS.items():
+            if module == target or any(
+                module == p or module.startswith(p + ".") for p in importers
+            ):
+                continue
+            for lineno, imported in imports:
+                if imported == target or imported.startswith(target + "."):
+                    violations.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{module} imports {imported} (restricted to "
+                        f"{', '.join(importers)})"
+                    )
         layers = [
             layer
             for layer in FORBIDDEN
@@ -204,8 +230,7 @@ def check() -> list[str]:
             if module == key or module.startswith(key + ".")
             for name in names
         }
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for lineno, imported in imported_modules(tree, module):
+        for lineno, imported in imports:
             if any(imported == a or imported.startswith(a + ".") for a in allowed):
                 continue
             for banned in (b for group in rules for b in group):
@@ -226,7 +251,8 @@ def main() -> int:
         return 1
     print(
         f"check_imports: OK ({len(FORBIDDEN)} layer rules, "
-        f"{sum(map(len, ALLOWED.values()))} carve-outs, no violations)"
+        f"{sum(map(len, ALLOWED.values()))} carve-outs, "
+        f"{len(RESTRICTED_IMPORTERS)} restricted modules, no violations)"
     )
     return 0
 

@@ -8,6 +8,7 @@ python tools/check_imports.py
 PYTHONPATH=src python tools/obs_smoke.py
 PYTHONPATH=src python tools/attack_smoke.py
 PYTHONPATH=src python tools/adv_train_smoke.py
+PYTHONPATH=src python tools/compile_smoke.py
 PYTHONPATH=src python tools/parallel_smoke.py
 PYTHONPATH=src python tools/fleet_smoke.py
 PYTHONPATH=src python -m pytest -x -q "$@"
