@@ -1,0 +1,155 @@
+"""MLOps-loop benchmarks: monitor overhead and detect-to-swap latency.
+
+Two numbers gate the continual-learning subsystem:
+
+* the drift monitors ride the serving hot path — their per-tick cost
+  (reconcile + error window + PSI check, full corridor) must stay well
+  under a millisecond so monitoring never shows up in serve latency;
+* the off-path pipeline (retrain + shadow + hot swap) is the loop's
+  reaction time — recorded here per PR so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import APOTS, FeatureConfig, SimulationConfig, TrafficDataset, simulate
+from repro.core import save_model
+from repro.data import ReferenceProfile
+from repro.mlops import (
+    ContinualController,
+    ControllerConfig,
+    DriftConfig,
+    ErrorDriftMonitor,
+    InputDriftMonitor,
+    RetrainSpec,
+    TruthReconciler,
+)
+from repro.serving import ForecastService, Observation
+
+from conftest import BENCH_SEED, record_metric, report, run_once
+
+NUM_SEGMENTS = 64
+MONITOR_TICKS = 400
+
+
+def test_bench_drift_monitor_tick_overhead(benchmark, rng=None):
+    """The whole monitor stack, per full-corridor tick, sub-millisecond."""
+    import numpy as np
+
+    rng = np.random.default_rng(BENCH_SEED)
+    profile = ReferenceProfile.from_speeds(rng.normal(80.0, 10.0, size=20_000))
+    config = DriftConfig(error_window=256, input_window=512, check_every=8)
+    reconciler = TruthReconciler()
+    error_monitor = ErrorDriftMonitor(config)
+    input_monitor = InputDriftMonitor(profile, config)
+    speeds = rng.normal(80.0, 10.0, size=(MONITOR_TICKS + 1, NUM_SEGMENTS))
+
+    def run() -> float:
+        seconds = 0.0
+        for step in range(MONITOR_TICKS):
+            # File one forecast per segment, as predict() would.
+            for segment in range(NUM_SEGMENTS):
+                reconciler.record(
+                    segment, step + 1, float(speeds[step + 1, segment]) + 2.0, 80.0
+                )
+            batch = [
+                Observation(
+                    segment_id=segment,
+                    step=step + 1,
+                    speed_kmh=float(speeds[step + 1, segment]),
+                    event=0.0,
+                )
+                for segment in range(NUM_SEGMENTS)
+            ]
+            start = time.perf_counter()
+            samples = reconciler.reconcile(batch)
+            error_monitor.observe(samples)
+            input_monitor.observe(batch)
+            seconds += time.perf_counter() - start
+        return seconds
+
+    seconds = run_once(benchmark, run)
+    per_tick_ms = seconds / MONITOR_TICKS * 1e3
+    record_metric(
+        "test_bench_drift_monitor_tick_overhead",
+        per_tick_ms=per_tick_ms,
+        segments=NUM_SEGMENTS,
+    )
+    report(
+        "## MLOps: drift-monitor overhead per tick "
+        f"({NUM_SEGMENTS} segments x {MONITOR_TICKS} ticks)\n"
+        f"reconcile + error window + PSI: {per_tick_ms:8.4f} ms/tick "
+        "(required < 1 ms)"
+    )
+    assert per_tick_ms < 1.0
+
+
+def test_bench_detect_to_swap_latency(benchmark, bench_preset, tmp_path):
+    """Trigger-to-new-champion wall time: retrain + shadow + hot swap."""
+    base = simulate(SimulationConfig(num_days=4, seed=BENCH_SEED))
+    shifted = simulate(
+        SimulationConfig(
+            num_days=4, seed=BENCH_SEED + 1, congestion_knee=0.55, base_demand=0.45
+        )
+    )
+    dataset = TrafficDataset(base, FeatureConfig(beta=1), seed=0)
+    model = APOTS(predictor="F", adversarial=False, preset=bench_preset, seed=0)
+    model.fit(dataset)
+    champion = save_model(model, tmp_path / "champion")
+
+    service = ForecastService.from_checkpoint(champion, base.num_segments)
+    controller = ContinualController(
+        service,
+        champion,
+        tmp_path / "work",
+        config=ControllerConfig(
+            # The trigger is driven below; keep the monitors quiet.
+            drift=DriftConfig(error_ratio=50.0, psi_threshold=50.0, mean_shift_kmh=500.0),
+            retrain=RetrainSpec(epochs=2, batch_size=32, min_windows=48),
+            min_history_steps=64,
+        ),
+    )
+
+    def feed(series, steps) -> None:
+        for step in steps:
+            controller.ingest_tick(
+                Observation(
+                    segment_id=segment,
+                    step=step,
+                    speed_kmh=float(series.speeds[segment, step]),
+                    event=float(series.events[segment, step]),
+                    temperature=float(series.temperature[step]),
+                    precipitation=float(series.precipitation[step]),
+                    day_type=tuple(series.day_types[step]),
+                )
+                for segment in range(series.num_segments)
+            )
+
+    # History holds a day of the *shifted* regime: the fine-tuned
+    # challenger beats the base-regime champion, so the pipeline swaps.
+    feed(shifted, range(320))
+
+    def pipeline() -> float:
+        from repro.mlops.drift import DriftDecision
+
+        start = time.perf_counter()
+        controller._run_pipeline(
+            DriftDecision(monitor="error", reason="bench", step=320, stats={})
+        )
+        return time.perf_counter() - start
+
+    seconds = run_once(benchmark, pipeline)
+    record_metric(
+        "test_bench_detect_to_swap_latency",
+        detect_to_swap_s=seconds,
+        swapped=controller.swap_count,
+    )
+    report(
+        "## MLOps: detect-to-swap latency (retrain + shadow + swap, "
+        f"{base.num_segments} segments, preset {bench_preset})\n"
+        f"trigger -> new champion: {seconds:8.2f} s "
+        f"(swapped: {bool(controller.swap_count)})"
+    )
+    assert controller.trigger_count == 1
+    assert controller.swap_count == 1  # the challenger must actually win

@@ -16,7 +16,7 @@ from .predictors import (
 )
 from .trainer import SupervisedTrainer, TrainHistory
 from .tuning import GridSearchResult, expand_grid, grid_search
-from .zoo import load_model, save_model
+from .zoo import load_model, model_fingerprint, save_model
 
 __all__ = [
     "AdversarialHistory",
@@ -44,5 +44,6 @@ __all__ = [
     "expand_grid",
     "grid_search",
     "load_model",
+    "model_fingerprint",
     "save_model",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..data.dataset import TrafficDataset
 from ..data.features import FeatureConfig, FeatureScalers
+from ..data.profile import ReferenceProfile
 from ..metrics.errors import all_errors
 from ..metrics.regimes import RegimeMasks, classify_regimes
 from ..obs import RunRecorder
@@ -124,6 +125,12 @@ class APOTS:
         #: checkpoint loading) so that online serving can transform raw
         #: km/h observations exactly as training did.
         self.scalers: FeatureScalers | None = None
+        #: Distribution profile of the raw km/h speeds this model was
+        #: fitted on (``repro.data.ReferenceProfile``), recorded by
+        #: :meth:`fit` and carried in format-v3 checkpoints so serving
+        #: can monitor input drift.  ``None`` on unfitted models and on
+        #: v1/v2 checkpoints.
+        self.reference_profile: "ReferenceProfile | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +165,7 @@ class APOTS:
         """
         self._check_dataset(dataset)
         self.scalers = dataset.features.scalers
+        self.reference_profile = ReferenceProfile.from_series(dataset.series)
         if self.adversarial:
             assert self.discriminator is not None
             trainer = APOTSTrainer(self.predictor, self.discriminator, self.train_spec)

@@ -9,25 +9,50 @@ before loading weights.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 
 from ..data.features import FactorMask, FeatureConfig, FeatureScalers
+from ..data.profile import ReferenceProfile
 from ..nn import load_state, save_state
 from .config import ModelSpec, PRESETS, ScalePreset
 from .model import APOTS
 
-__all__ = ["save_model", "load_model", "FORMAT_VERSION", "SUPPORTED_FORMAT_VERSIONS"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "model_fingerprint",
+    "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
+]
 
 _MANIFEST = "manifest.json"
 _PREDICTOR = "predictor.npz"
 _DISCRIMINATOR = "discriminator.npz"
 
 #: Version written by :func:`save_model`.  v2 added the fitted feature
-#: scalers; v1 checkpoints (weights only) are still readable but cannot
-#: reproduce inference on raw km/h inputs.
-FORMAT_VERSION = 2
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+#: scalers; v3 added the training-time input reference profile used by
+#: drift monitors.  v1 checkpoints (weights only) are still readable but
+#: cannot reproduce inference on raw km/h inputs; v1/v2 checkpoints load
+#: with ``reference_profile=None`` (input-drift monitoring disabled).
+FORMAT_VERSION = 3
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
+
+
+def model_fingerprint(model: APOTS) -> str:
+    """Stable content hash of a model's predictor weights.
+
+    Two models fingerprint equal iff their predictor kind and every
+    weight array are bitwise identical — used to namespace forecast
+    cache entries and to label swap/rollback obs events.
+    """
+    digest = hashlib.blake2b(digest_size=12)
+    digest.update(model.kind.encode())
+    for name, array in sorted(model.predictor.state_dict().items()):
+        digest.update(name.encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def _features_to_dict(features: FeatureConfig) -> dict:
@@ -79,6 +104,11 @@ def save_model(model: APOTS, directory: str | Path) -> Path:
         "preset_values": dataclasses.asdict(model.preset),
         "features": _features_to_dict(model.features),
         "spec": _spec_to_dict(model.spec),
+        "reference_profile": (
+            model.reference_profile.state_dict()
+            if getattr(model, "reference_profile", None) is not None
+            else None
+        ),
     }
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
     save_state(model.predictor, directory / _PREDICTOR)
@@ -115,6 +145,9 @@ def load_model(directory: str | Path) -> APOTS:
     scalers_state = manifest.get("scalers")
     if scalers_state is not None:
         model.scalers = FeatureScalers.from_state(scalers_state)
+    profile_state = manifest.get("reference_profile")
+    if profile_state is not None:
+        model.reference_profile = ReferenceProfile.from_state(profile_state)
     load_state(model.predictor, directory / _PREDICTOR)
     if model.discriminator is not None:
         load_state(model.discriminator, directory / _DISCRIMINATOR)

@@ -9,6 +9,7 @@ from .features import (
     build_features,
     fit_scalers,
 )
+from .profile import PSI_EPSILON, SPEED_BIN_EDGES, ReferenceProfile
 from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler, scaler_from_state
 from .split import SplitIndices, consecutive_runs, split_windows
 
@@ -27,6 +28,9 @@ __all__ = [
     "MinMaxScaler",
     "StandardScaler",
     "scaler_from_state",
+    "PSI_EPSILON",
+    "SPEED_BIN_EDGES",
+    "ReferenceProfile",
     "SplitIndices",
     "consecutive_runs",
     "split_windows",

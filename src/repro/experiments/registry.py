@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from . import ablations, adv_train, fig1, fig4, fig5, fig6, robustness, table2, table3
+from . import ablations, adv_train, continual, fig1, fig4, fig5, fig6, robustness, table2, table3
 
 __all__ = ["EXPERIMENTS", "run_experiment", "Renderable"]
 
@@ -50,6 +50,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
     "adv_train": (
         adv_train.run,
         "input-space adversarial re-training: paired robustness sweep before/after",
+    ),
+    "continual": (
+        continual.run,
+        "continual learning: drift detect -> retrain -> shadow -> hot-swap -> rollback",
     ),
 }
 

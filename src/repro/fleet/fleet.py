@@ -44,7 +44,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from ..attacks.defense import GateConfig, PerturbationGate
-from ..core.zoo import load_model
+from ..core.zoo import load_model, model_fingerprint
 from ..obs.telemetry import Telemetry
 from ..parallel.group import WorkerGroup, WorkerGroupError
 from ..serving.errors import IncompleteWindowError, StaleObservationError, StreamGapError
@@ -577,6 +577,49 @@ class ForecastFleet:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
+    def swap_checkpoint(self, directory: str | Path) -> str:
+        """Hot-swap every live replica to a new checkpoint; returns its fingerprint.
+
+        The checkpoint is validated parent-side first (feature geometry
+        against the fleet's, scaler presence), then broadcast to every
+        non-lost shard in one scatter/gather round.  The broadcast runs
+        between batches on the fleet's single-threaded control loop, so
+        no in-flight ``predict_many`` batch ever mixes champions: a batch
+        is answered entirely by whichever model each replica holds when
+        its call starts, and after this method returns every live shard
+        holds the new weights.  A replica that dies mid-swap is marked
+        lost exactly like any other scatter casualty (its segments shed
+        to naive persistence).  Emits one ``fleet_swap`` event.
+        """
+        self._check_open()
+        model = load_model(directory)
+        if model.features != self.features:
+            raise ValueError(
+                f"checkpoint feature geometry {model.features} does not match "
+                f"the fleet geometry {self.features}"
+            )
+        if model.scalers is None:
+            raise ValueError(
+                "checkpoint lacks scaler state (format v1?); fleet serving "
+                "needs the fitted scalers to transform raw observations"
+            )
+        fingerprint = model_fingerprint(model)
+        if self._local is not None:
+            self._local.swap_checkpoint(directory)
+            swapped = 1
+        else:
+            gathered = self._scatter_call(
+                {
+                    shard: ("swap_checkpoint", (str(directory),))
+                    for shard in range(self.num_shards)
+                    if shard not in self._lost
+                }
+            )
+            swapped = sum(1 for result in gathered.values() if result is not None)
+        self.telemetry.counter("checkpoint_swaps").inc()
+        self._emit("fleet_swap", shards_swapped=swapped, fingerprint=fingerprint)
+        return fingerprint
+
     def kill_replica(self, shard: int, exit_code: int = 21) -> None:
         """Fault-injection hook: hard-kill one replica process.
 

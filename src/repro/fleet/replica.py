@@ -96,6 +96,11 @@ class ShardReplica:
     def reset_segment(self, segment_id: int) -> None:
         self.service.store.reset_segment(segment_id)
 
+    def swap_checkpoint(self, directory: str) -> str:
+        """Hot-swap the replica's served model; returns the new fingerprint."""
+        self.service.swap_checkpoint(directory)
+        return self.service.fingerprint
+
     def snapshot(self) -> dict:
         snap = self.service.snapshot()
         snap["shard"] = self.spec.shard

@@ -1,0 +1,58 @@
+"""``repro.mlops`` — drift-triggered continual learning for serving.
+
+Closes the loop the ROADMAP left open between training and serving:
+
+* :mod:`drift` watches the live stream — rolling per-regime forecast
+  error (predictions reconciled against later-observed truth) and
+  input-distribution shift (PSI / mean shift against the checkpoint's
+  training-time :class:`repro.data.ReferenceProfile`) — with hysteresis
+  so one noisy tick never triggers;
+* :mod:`history` snapshots the recent observation stream back into a
+  :class:`repro.traffic.TrafficSeries` the offline pipeline understands;
+* :mod:`retrain` fine-tunes the current champion on that snapshot with
+  the existing trainers, under a seed derived from the trigger;
+* :mod:`shadow` replays a held-out tail of live windows through both
+  champion and challenger and applies a pinned promotion rule;
+* :mod:`controller` orchestrates monitor → retrain → shadow →
+  ``swap_checkpoint`` on a :class:`repro.serving.ForecastService` or a
+  :class:`repro.fleet.ForecastFleet`, with automatic rollback past a
+  guardband.
+
+Every transition is a schema-valid ``drift_*`` / ``mlops_*`` obs event
+(:mod:`repro.obs.schema`), so any promotion or rollback is fully
+reconstructable from the run log.  Layering: this package may import
+core/serving/fleet/obs/data/traffic/metrics/parallel; only tools and
+experiments may import it (enforced by ``tools/check_imports.py``).
+"""
+
+from .controller import ContinualController, ControllerConfig
+from .drift import (
+    DriftConfig,
+    DriftDecision,
+    ErrorDriftMonitor,
+    ErrorSample,
+    InputDriftMonitor,
+    TruthReconciler,
+)
+from .history import HistoryBuffer
+from .retrain import RetrainResult, RetrainSpec, retrain_challenger
+from .shadow import PromotionDecision, PromotionRule, ShadowReport, evaluate_shadow
+
+__all__ = [
+    "ContinualController",
+    "ControllerConfig",
+    "DriftConfig",
+    "DriftDecision",
+    "ErrorDriftMonitor",
+    "ErrorSample",
+    "InputDriftMonitor",
+    "TruthReconciler",
+    "HistoryBuffer",
+    "RetrainResult",
+    "RetrainSpec",
+    "retrain_challenger",
+    "PromotionDecision",
+    "PromotionRule",
+    "ShadowReport",
+    "evaluate_shadow",
+]

@@ -1,0 +1,342 @@
+"""The continual-learning controller: monitor → retrain → shadow → swap → guard.
+
+:class:`ContinualController` wraps a serving *target* — a
+:class:`repro.serving.ForecastService` or a
+:class:`repro.fleet.ForecastFleet`; anything with ``ingest_many`` /
+``predict_many`` / ``swap_checkpoint`` works — and drives the whole
+MLOps loop from the observation stream:
+
+1. **Monitor.**  Every :meth:`ingest_tick` feeds the target, the raw
+   :class:`~repro.mlops.history.HistoryBuffer`, and both drift monitors
+   (forecast error via :class:`~repro.mlops.drift.TruthReconciler`,
+   input distribution via the champion's reference profile).
+2. **Retrain.**  A hysteresis-confirmed trigger (outside cooldown, with
+   enough history) runs :func:`~repro.mlops.retrain.retrain_challenger`
+   inline between ticks — off the predict hot path, deterministic under
+   a seed derived from ``(config.seed, trigger_count)``.
+3. **Shadow.**  The challenger replays the held-out newest windows
+   against the champion under the pinned
+   :class:`~repro.mlops.shadow.PromotionRule`.
+4. **Swap.**  On promotion, :meth:`deploy` hot-swaps the target (one
+   call covers a single service or a whole fleet broadcast) and arms
+   the guardband.
+5. **Guard / rollback.**  For ``postswap_ticks`` after a swap the
+   reconciled error stream is compared against ``rollback_ratio x`` the
+   pre-swap rolling MAE; ``rollback_patience`` consecutive breaches
+   restore the previous champion automatically.  A clean guard window
+   accepts the new champion and re-arms the monitors from scratch.
+
+Every transition emits a schema-valid ``mlops_*`` event; the run log
+alone reconstructs any promotion or rollback decision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.model import APOTS
+from ..core.zoo import load_model, model_fingerprint
+from ..obs import RunRecorder
+from ..parallel import derive_task_seed
+from .drift import (
+    DriftConfig,
+    DriftDecision,
+    ErrorDriftMonitor,
+    InputDriftMonitor,
+    TruthReconciler,
+)
+from .history import HistoryBuffer
+from .retrain import RetrainSpec, retrain_challenger
+from .shadow import PromotionRule, evaluate_shadow
+
+__all__ = ["ControllerConfig", "ContinualController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """All knobs of the continual-learning loop."""
+
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    retrain: RetrainSpec = field(default_factory=RetrainSpec)
+    promotion: PromotionRule = field(default_factory=PromotionRule)
+    history_capacity: int = 2048  # raw ticks retained for retraining
+    min_history_steps: int = 128  # don't retrain on a thinner buffer
+    cooldown_ticks: int = 64  # ticks between pipeline runs
+    postswap_ticks: int = 48  # guardband length after a swap
+    rollback_ratio: float = 1.25  # guard: post-swap MAE vs pre-swap rolling MAE
+    rollback_window: int = 32  # rolling window of post-swap errors
+    rollback_min_samples: int = 16  # guard needs this many reconciled samples
+    rollback_patience: int = 2  # consecutive guard breaches to roll back
+    seed: int = 0  # root seed; retrains use derive_task_seed(seed, n)
+
+    def __post_init__(self):
+        if self.rollback_ratio <= 1.0:
+            raise ValueError("rollback_ratio must exceed 1.0")
+        if self.rollback_patience < 1 or self.rollback_min_samples < 1:
+            raise ValueError("rollback patience/min_samples must be positive")
+
+
+class ContinualController:
+    """Drive one serving target through the drift→retrain→swap loop.
+
+    Parameters
+    ----------
+    target:
+        The serving deployment: a ``ForecastService`` or a
+        ``ForecastFleet`` (duck-typed on ``ingest_many`` /
+        ``predict_many`` / ``swap_checkpoint``).  The target must have
+        been built from ``champion_dir`` so weights and controller
+        bookkeeping agree.
+    champion_dir:
+        The checkpoint directory currently served.
+    workdir:
+        Where challenger checkpoints are written (one subdirectory per
+        trigger, so a rollback's restore target is never overwritten).
+    config, recorder:
+        Loop knobs and the obs event sink.
+    """
+
+    def __init__(
+        self,
+        target,
+        champion_dir: str | Path,
+        workdir: str | Path,
+        config: ControllerConfig | None = None,
+        recorder: RunRecorder | None = None,
+    ):
+        self.target = target
+        self.config = config if config is not None else ControllerConfig()
+        self.recorder = recorder
+        self.workdir = Path(workdir)
+        self._champion_dir = Path(champion_dir)
+        self._previous_dir: Path | None = None
+        self._champion: APOTS = load_model(champion_dir)
+        self._fingerprint = model_fingerprint(self._champion)
+        num_segments = getattr(target, "num_segments", None)
+        if num_segments is None:
+            num_segments = target.store.num_segments
+        self.history = HistoryBuffer(
+            num_segments,
+            capacity=self.config.history_capacity,
+            interval_minutes=getattr(target, "interval_minutes", 5),
+        )
+        self.reconciler = TruthReconciler()
+        self.error_monitor = ErrorDriftMonitor(self.config.drift, recorder)
+        self.input_monitor = InputDriftMonitor(
+            self._champion.reference_profile, self.config.drift, recorder
+        )
+        self.trigger_count = 0
+        self.swap_count = 0
+        self.rollback_count = 0
+        self.last_trigger: DriftDecision | None = None
+        self._cooldown = 0
+        # Guardband state (armed by deploy()).
+        self._postswap_remaining = 0
+        self._guard_mae: float | None = None
+        self._guard_errors: deque[float] = deque(maxlen=self.config.rollback_window)
+        self._guard_breaches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def champion_dir(self) -> Path:
+        return self._champion_dir
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def in_guardband(self) -> bool:
+        return self._postswap_remaining > 0
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.event(kind, **fields)
+
+    def _shards(self) -> int:
+        return int(getattr(self.target, "num_shards", 1))
+
+    # ------------------------------------------------------------------
+    # Stream plumbing
+    # ------------------------------------------------------------------
+    def ingest_tick(self, observations: Iterable["object"]) -> None:
+        """Feed one tick's full-corridor batch through the whole loop."""
+        observations = list(observations)
+        self.target.ingest_many(observations)
+        self.history.ingest_tick(observations)
+        samples = self.reconciler.reconcile(observations)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        if self.in_guardband:
+            self._guard_tick(samples)
+            return
+        decision = self.error_monitor.observe(samples)
+        if decision is None:
+            decision = self.input_monitor.observe(observations)
+        else:
+            # Still feed the input window so its state stays warm.
+            self.input_monitor.observe(observations)
+        if decision is not None and self._cooldown == 0:
+            if len(self.history) >= self.config.min_history_steps:
+                self._run_pipeline(decision)
+            # else: not enough history yet; the monitors keep watching.
+
+    def predict(
+        self,
+        segment_ids: Sequence[int],
+        horizon_steps: int | None = None,
+        use_cache: bool = True,
+    ):
+        """Forecast via the target, filing model answers for reconciliation."""
+        forecasts = self.target.predict_many(segment_ids, horizon_steps, use_cache)
+        for forecast in forecasts:
+            if forecast.source != "model":
+                continue  # naive answers monitor nothing but themselves
+            self.reconciler.record(
+                forecast.segment_id,
+                forecast.target_step,
+                forecast.speed_kmh,
+                self.history.last_speed_kmh(forecast.segment_id),
+            )
+        return forecasts
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _run_pipeline(self, decision: DriftDecision) -> None:
+        seed = derive_task_seed(self.config.seed, self.trigger_count)
+        self.trigger_count += 1
+        self.last_trigger = decision
+        self._emit(
+            "mlops_trigger",
+            monitor=decision.monitor,
+            reason=decision.reason,
+            step=decision.step,
+            seed=seed,
+        )
+        result = retrain_challenger(
+            self._champion_dir,
+            self.history.snapshot(),
+            spec=self.config.retrain,
+            seed=seed,
+            workdir=self.workdir / f"challenger-{self.trigger_count:03d}",
+            recorder=self.recorder,
+        )
+        self._cooldown = self.config.cooldown_ticks
+        if not result.ok:
+            return  # champion keeps serving; mlops_retrain_end told the story
+        challenger = load_model(result.challenger_dir)
+        report = evaluate_shadow(
+            self._champion,
+            challenger,
+            result.dataset,
+            result.holdout,
+            rule=self.config.promotion,
+            recorder=self.recorder,
+        )
+        if report.promote:
+            self.deploy(result.challenger_dir)
+        else:
+            # Rejected challenger: clear the breach trail so the next
+            # trigger needs fresh consecutive evidence, but KEEP the
+            # error baseline — re-calibrating on the drifted stream
+            # would make persistent drift invisible forever.
+            self.error_monitor.calm()
+            self.input_monitor.calm()
+
+    def deploy(self, directory: str | Path) -> str:
+        """Hot-swap the target to ``directory`` and arm the guardband.
+
+        Public so drills (and operators) can push an arbitrary
+        checkpoint through the exact promotion path — including the
+        automatic rollback that follows a bad one.  Returns the new
+        champion's fingerprint.
+        """
+        directory = Path(directory)
+        model = load_model(directory)
+        fingerprint = model_fingerprint(model)
+        previous_fingerprint = self._fingerprint
+        self._guard_mae = self.error_monitor.rolling_mae()
+        self.target.swap_checkpoint(directory)
+        self._previous_dir = self._champion_dir
+        self._champion_dir = directory
+        self._champion = model
+        self._fingerprint = fingerprint
+        self.swap_count += 1
+        self._emit(
+            "mlops_swap",
+            fingerprint=fingerprint,
+            previous_fingerprint=previous_fingerprint,
+            shards=self._shards(),
+        )
+        # Old-champion forecasts and error history mean nothing now.
+        self.reconciler.clear()
+        self.error_monitor.reset()
+        self._postswap_remaining = self.config.postswap_ticks
+        self._guard_errors.clear()
+        self._guard_breaches = 0
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Guardband
+    # ------------------------------------------------------------------
+    def _guard_tick(self, samples) -> None:
+        self._postswap_remaining -= 1
+        for sample in samples:
+            self._guard_errors.append(sample.abs_error)
+        guard = self._guard_mae
+        if guard is not None and len(self._guard_errors) >= self.config.rollback_min_samples:
+            rolling = float(np.mean(self._guard_errors))
+            if rolling > self.config.rollback_ratio * max(guard, 1e-9):
+                self._guard_breaches += 1
+                if self._guard_breaches >= self.config.rollback_patience:
+                    self._rollback(rolling, guard)
+                    return
+            else:
+                self._guard_breaches = 0
+        if self._postswap_remaining <= 0:
+            self._accept()
+
+    def _accept(self) -> None:
+        """Guard window survived: the new champion is the champion."""
+        self._postswap_remaining = 0
+        self._guard_mae = None
+        self._guard_errors.clear()
+        self._guard_breaches = 0
+        self.input_monitor = InputDriftMonitor(
+            self._champion.reference_profile, self.config.drift, self.recorder
+        )
+        self.error_monitor.reset()
+        self._cooldown = self.config.cooldown_ticks
+
+    def _rollback(self, rolling_mae: float, guard_mae: float) -> None:
+        assert self._previous_dir is not None
+        bad_fingerprint = self._fingerprint
+        self.target.swap_checkpoint(self._previous_dir)
+        self._champion_dir = self._previous_dir
+        self._champion = load_model(self._champion_dir)
+        self._fingerprint = model_fingerprint(self._champion)
+        self._previous_dir = None
+        self.rollback_count += 1
+        self._emit(
+            "mlops_rollback",
+            fingerprint=bad_fingerprint,
+            restored_fingerprint=self._fingerprint,
+            rolling_mae=rolling_mae,
+            guard_mae=guard_mae,
+        )
+        self._postswap_remaining = 0
+        self._guard_mae = None
+        self._guard_errors.clear()
+        self._guard_breaches = 0
+        self.reconciler.clear()
+        self.error_monitor.reset()
+        self.input_monitor = InputDriftMonitor(
+            self._champion.reference_profile, self.config.drift, self.recorder
+        )
+        self._cooldown = self.config.cooldown_ticks

@@ -1,0 +1,177 @@
+"""Rolling raw-observation history for retraining snapshots.
+
+The serving :class:`repro.serving.SegmentStateStore` keeps exactly what
+inference needs (``alpha`` scaled steps); retraining needs much more —
+a long *raw* tail of the stream, reassembled into the
+:class:`repro.traffic.TrafficSeries` shape the offline feature pipeline
+consumes.  :class:`HistoryBuffer` is that second, wider ring: raw km/h
+speeds, event flags and context per tick, with :meth:`snapshot`
+materialising the contiguous run it currently holds.
+
+The buffer is tick-oriented: one :meth:`ingest_tick` call carries one
+step's observations for the **whole corridor** (the same full-corridor
+per-tick contract the fleet's shard-count invariance already relies
+on).  Context fields (temperature / precipitation / day type) may be
+``None`` on any observation; the previous tick's values are carried
+forward, mirroring the serving store.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..serving.state import Observation
+from ..traffic.calendar import STUDY_START
+from ..traffic.types import Corridor, TrafficSeries
+
+__all__ = ["HistoryBuffer"]
+
+_DEFAULT_DAY_TYPE = (1.0, 0.0, 0.0, 0.0)  # plain weekday
+
+
+class HistoryBuffer:
+    """Fixed-capacity raw history of the full corridor stream.
+
+    Parameters
+    ----------
+    num_segments:
+        Corridor length; every tick must cover all of it.
+    capacity:
+        Maximum number of ticks retained (the retraining horizon).
+    interval_minutes:
+        Tick length, forwarded into snapshots.
+    """
+
+    def __init__(self, num_segments: int, capacity: int = 2048, interval_minutes: int = 5):
+        if num_segments < 1:
+            raise ValueError("num_segments must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.num_segments = num_segments
+        self.capacity = capacity
+        self.interval_minutes = interval_minutes
+        self.steps_per_day = (24 * 60) // interval_minutes
+        self._speeds = np.zeros((num_segments, capacity), dtype=np.float64)
+        self._events = np.zeros((num_segments, capacity), dtype=np.float64)
+        self._temperature = np.zeros(capacity, dtype=np.float64)
+        self._precipitation = np.zeros(capacity, dtype=np.float64)
+        self._day_types = np.zeros((capacity, 4), dtype=np.float64)
+        self._latest: int | None = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of contiguous ticks currently held."""
+        return self._count
+
+    @property
+    def latest_step(self) -> int | None:
+        return self._latest
+
+    def last_speed_kmh(self, segment_id: int) -> float:
+        """Most recent raw speed of one segment."""
+        if self._latest is None:
+            raise ValueError("history buffer is empty")
+        if not 0 <= segment_id < self.num_segments:
+            raise ValueError(f"segment {segment_id} outside corridor")
+        return float(self._speeds[segment_id, self._latest % self.capacity])
+
+    # ------------------------------------------------------------------
+    def ingest_tick(self, observations: Iterable[Observation]) -> int:
+        """Absorb one tick's full-corridor observation batch.
+
+        All observations must share one step; a step that is not
+        ``latest + 1`` restarts the contiguous run (mirroring the
+        serving store's gap semantics — the caller is expected to have
+        validated the stream already).  Returns the step ingested.
+        """
+        observations = list(observations)
+        if not observations:
+            raise ValueError("ingest_tick needs at least one observation")
+        step = observations[0].step
+        seen: set[int] = set()
+        for obs in observations:
+            if obs.step != step:
+                raise ValueError(
+                    f"ingest_tick got mixed steps {step} and {obs.step}; "
+                    "one call carries one tick"
+                )
+            if not 0 <= obs.segment_id < self.num_segments:
+                raise ValueError(f"segment {obs.segment_id} outside corridor")
+            seen.add(obs.segment_id)
+        if len(seen) != self.num_segments:
+            missing = sorted(set(range(self.num_segments)) - seen)
+            raise ValueError(
+                f"tick {step} covers {len(seen)}/{self.num_segments} segments "
+                f"(missing {missing[:5]}{'...' if len(missing) > 5 else ''}); "
+                "retraining history needs the full corridor per tick"
+            )
+
+        slot = step % self.capacity
+        if self._latest is not None and step == self._latest + 1:
+            self._count = min(self._count + 1, self.capacity)
+            # Carry context forward from the previous tick by default.
+            prev = self._latest % self.capacity
+            self._temperature[slot] = self._temperature[prev]
+            self._precipitation[slot] = self._precipitation[prev]
+            self._day_types[slot] = self._day_types[prev]
+        else:
+            self._count = 1
+            self._temperature[slot] = 0.0
+            self._precipitation[slot] = 0.0
+            self._day_types[slot] = _DEFAULT_DAY_TYPE
+        for obs in observations:
+            self._speeds[obs.segment_id, slot] = obs.speed_kmh
+            self._events[obs.segment_id, slot] = float(obs.event)
+            if obs.temperature is not None:
+                self._temperature[slot] = obs.temperature
+            if obs.precipitation is not None:
+                self._precipitation[slot] = obs.precipitation
+            if obs.day_type is not None:
+                self._day_types[slot] = obs.day_type
+        self._latest = step
+        return step
+
+    # ------------------------------------------------------------------
+    def _held_steps(self, steps: int | None = None) -> np.ndarray:
+        if self._latest is None or self._count == 0:
+            raise ValueError("history buffer is empty")
+        n = self._count if steps is None else min(steps, self._count)
+        return np.arange(self._latest - n + 1, self._latest + 1)
+
+    def snapshot(self, steps: int | None = None) -> TrafficSeries:
+        """Materialise the held run (or its last ``steps``) as a series.
+
+        The snapshot is deterministic given the ingested stream: the
+        corridor is the default Gyeongbu layout for this segment count
+        and timestamps are synthesised from the absolute step index
+        anchored at the study start (step 0 = midnight), so repeated
+        snapshots of the same stream are identical.
+        """
+        held = self._held_steps(steps)
+        idx = held % self.capacity
+        base = dt.datetime.combine(STUDY_START, dt.time())
+        minutes = self.interval_minutes
+        hours = ((held % self.steps_per_day) * minutes // 60).astype(np.float64)
+        return TrafficSeries(
+            corridor=Corridor.gyeongbu(self.num_segments),
+            speeds=self._speeds[:, idx].copy(),
+            temperature=self._temperature[idx].copy(),
+            precipitation=self._precipitation[idx].copy(),
+            events=self._events[:, idx].copy(),
+            hours=hours,
+            day_types=self._day_types[idx].copy(),
+            timestamps=[base + dt.timedelta(minutes=int(s) * minutes) for s in held],
+            interval_minutes=minutes,
+        )
+
+    def recent_speeds(self, segments: Sequence[int] | None = None) -> np.ndarray:
+        """Raw km/h speeds of the held run, ``(len(segments), count)``."""
+        held = self._held_steps()
+        idx = held % self.capacity
+        if segments is None:
+            return self._speeds[:, idx].copy()
+        return self._speeds[np.asarray(segments)[:, None], idx[None, :]].copy()

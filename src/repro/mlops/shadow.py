@@ -1,0 +1,158 @@
+"""Champion/challenger shadow evaluation with a pinned promotion rule.
+
+The held-out tail of live windows (the newest data, which the
+challenger never trained on) is replayed through both checkpoints, and
+per-regime MAE/RMSE is computed exactly as the paper's evaluation does
+(:func:`repro.metrics.regimes.classify_regimes`).  The decision rule is
+pinned (DESIGN.md §14):
+
+* **promote** iff the challenger improves whole-set MAE by at least
+  ``min_rel_improvement`` (relative), **and**
+* no regime with at least ``min_regime_samples`` held-out samples
+  regresses by more than ``max_regime_regression`` (relative) — a
+  challenger that buys average accuracy by giving up abrupt-change
+  accuracy is exactly the failure mode the paper's regime split exists
+  to expose.
+
+One ``mlops_shadow`` event records the verdict and the numbers behind
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.model import APOTS
+from ..data.dataset import TrafficDataset
+from ..metrics.errors import all_errors
+from ..metrics.regimes import classify_regimes
+from ..obs import RunRecorder
+
+__all__ = ["PromotionRule", "PromotionDecision", "ShadowReport", "evaluate_shadow"]
+
+
+@dataclass(frozen=True)
+class PromotionRule:
+    """The pinned decision rule (see module docstring)."""
+
+    min_rel_improvement: float = 0.02  # challenger must beat champion by >= 2 %
+    max_regime_regression: float = 0.15  # no qualifying regime may regress > 15 %
+    min_regime_samples: int = 10  # regimes thinner than this are advisory only
+
+    def __post_init__(self):
+        if self.min_rel_improvement < 0:
+            raise ValueError("min_rel_improvement must be non-negative")
+        if self.max_regime_regression < 0:
+            raise ValueError("max_regime_regression must be non-negative")
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    promote: bool
+    reason: str
+    rel_improvement: float
+
+
+@dataclass
+class ShadowReport:
+    """Both models' held-out errors plus the decision."""
+
+    decision: PromotionDecision
+    num_samples: int
+    champion: dict[str, dict[str, float]] = field(default_factory=dict)
+    challenger: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def promote(self) -> bool:
+        return self.decision.promote
+
+
+def _predict_kmh(model: APOTS, dataset: TrafficDataset, indices: np.ndarray) -> np.ndarray:
+    batch = dataset.batch(indices)
+    scaled = model.predictor.predict(batch.images, batch.day_types, batch.flat)
+    return dataset.kmh(scaled)
+
+
+def evaluate_shadow(
+    champion: APOTS,
+    challenger: APOTS,
+    dataset: TrafficDataset,
+    indices: np.ndarray,
+    rule: PromotionRule | None = None,
+    recorder: RunRecorder | None = None,
+) -> ShadowReport:
+    """Replay held-out windows through both models and decide.
+
+    ``dataset`` must be scaled with the scalers both models share (the
+    retrainer guarantees this); ``indices`` is the held-out window set.
+    """
+    rule = rule if rule is not None else PromotionRule()
+    indices = np.asarray(indices)
+    if len(indices) == 0:
+        raise ValueError("shadow evaluation needs at least one held-out window")
+
+    targets_kmh = dataset.features.targets_kmh[indices]
+    last_input_kmh = dataset.features.last_input_kmh[indices]
+    masks = classify_regimes(last_input_kmh, targets_kmh)
+
+    def regime_errors(predictions: np.ndarray) -> dict[str, dict[str, float]]:
+        report = {}
+        for regime, mask in masks.as_dict().items():
+            if mask.sum() == 0:
+                report[regime] = {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
+            else:
+                report[regime] = all_errors(predictions[mask], targets_kmh[mask])
+        return report
+
+    champion_pred = _predict_kmh(champion, dataset, indices)
+    challenger_pred = _predict_kmh(challenger, dataset, indices)
+    champion_errors = regime_errors(champion_pred)
+    challenger_errors = regime_errors(challenger_pred)
+
+    champion_mae = champion_errors["whole"]["mae"]
+    challenger_mae = challenger_errors["whole"]["mae"]
+    rel_improvement = (champion_mae - challenger_mae) / max(champion_mae, 1e-9)
+
+    promote = True
+    if rel_improvement < rule.min_rel_improvement:
+        promote = False
+        reason = (
+            f"rel improvement {rel_improvement:.3f} below required "
+            f"{rule.min_rel_improvement:.3f}"
+        )
+    else:
+        reason = f"rel improvement {rel_improvement:.3f} >= {rule.min_rel_improvement:.3f}"
+        counts = masks.counts()
+        for regime in ("normal", "abrupt_acc", "abrupt_dec"):
+            if counts[regime] < rule.min_regime_samples:
+                continue
+            regression = (
+                challenger_errors[regime]["mae"] - champion_errors[regime]["mae"]
+            ) / max(champion_errors[regime]["mae"], 1e-9)
+            if regression > rule.max_regime_regression:
+                promote = False
+                reason = (
+                    f"regime {regime} regresses {regression:.3f} "
+                    f"(> {rule.max_regime_regression:.3f}) despite whole-set gain"
+                )
+                break
+
+    decision = PromotionDecision(promote=promote, reason=reason, rel_improvement=rel_improvement)
+    if recorder is not None:
+        recorder.event(
+            "mlops_shadow",
+            champion_mae=champion_mae,
+            challenger_mae=challenger_mae,
+            rel_improvement=rel_improvement,
+            num_samples=int(len(indices)),
+            promote=promote,
+            reason=reason,
+        )
+    return ShadowReport(
+        decision=decision,
+        num_samples=int(len(indices)),
+        champion=champion_errors,
+        challenger=challenger_errors,
+    )

@@ -27,6 +27,7 @@ __all__ = ["EVENT_SCHEMA", "MANIFEST_REQUIRED", "validate_event", "validate_run_
 _NUM = (int, float)
 _STR = (str,)
 _INT = (int,)
+_BOOL = (bool,)
 
 #: kind -> {field: accepted types}. The envelope (seq/ts/kind) is
 #: required for every event and checked separately.
@@ -102,6 +103,54 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
         "p50_ms": _NUM,
         "p99_ms": _NUM,
     },
+    "fleet_swap": {"shards_swapped": _INT, "fingerprint": _STR},
+    # Continual learning (repro.mlops) -----------------------------------
+    # Emitted by the drift monitors and the controller in the serving
+    # parent process.  `drift_*` events record every evaluation (so the
+    # hysteresis trail is reconstructable); `mlops_*` events record the
+    # pipeline transitions trigger -> retrain -> shadow -> swap and the
+    # post-swap guardband outcome (rollback or acceptance).
+    "drift_error": {
+        "samples": _INT,
+        "regime": _STR,
+        "rolling_mae": _NUM,
+        "baseline_mae": _NUM,
+        "ratio": _NUM,
+        "threshold": _NUM,
+        "breaches": _INT,
+        "triggered": _BOOL,
+    },
+    "drift_input": {
+        "samples": _INT,
+        "psi": _NUM,
+        "psi_threshold": _NUM,
+        "mean_kmh": _NUM,
+        "reference_mean_kmh": _NUM,
+        "breaches": _INT,
+        "triggered": _BOOL,
+    },
+    "mlops_trigger": {"monitor": _STR, "reason": _STR, "step": _INT, "seed": _INT},
+    "mlops_retrain_start": {"seed": _INT, "num_windows": _INT, "epochs": _INT},
+    "mlops_retrain_end": {"status": _STR, "num_windows": _INT, "duration_s": _NUM},
+    "mlops_shadow": {
+        "champion_mae": _NUM,
+        "challenger_mae": _NUM,
+        "rel_improvement": _NUM,
+        "num_samples": _INT,
+        "promote": _BOOL,
+        "reason": _STR,
+    },
+    "mlops_swap": {
+        "fingerprint": _STR,
+        "previous_fingerprint": _STR,
+        "shards": _INT,
+    },
+    "mlops_rollback": {
+        "fingerprint": _STR,
+        "restored_fingerprint": _STR,
+        "rolling_mae": _NUM,
+        "guard_mae": _NUM,
+    },
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
     # Input-space adversarial training (repro.core.adversarial_training) -
@@ -158,7 +207,11 @@ def validate_event(event: dict) -> list[str]:
         return errors
     for field, types in required.items():
         value = event.get(field)
-        if not isinstance(value, types) or isinstance(value, bool):
+        if bool in types:
+            # Declared-bool fields require an actual bool (0/1 rejected).
+            if not isinstance(value, bool):
+                errors.append(f"{kind}: field {field!r} missing or not bool")
+        elif not isinstance(value, types) or isinstance(value, bool):
             errors.append(f"{kind}: field {field!r} missing or not {types[0].__name__}")
     return errors
 

@@ -4,7 +4,8 @@ Turns a checkpoint into a live service: rolling per-segment state
 ingestion (:mod:`state`), request coalescing (:mod:`batcher`), TTL+LRU
 forecast caching (:mod:`cache`), the :class:`ForecastService` facade
 (:mod:`service`) and counters/latency histograms (re-exported from
-:mod:`repro.obs.telemetry`; :mod:`telemetry` is a compat shim).
+:mod:`repro.obs.telemetry`; the :mod:`telemetry` shim is deprecated
+and warns on import).
 
 This layer is experiment-free by construction: it may depend on
 ``repro.core`` / ``repro.data`` / ``repro.nn`` but never on
@@ -20,9 +21,9 @@ from .errors import (
     StreamGapError,
     UnknownSegmentError,
 )
+from ..obs.telemetry import Counter, Histogram, Telemetry
 from .service import Forecast, ForecastService
 from .state import Observation, SegmentStateStore, WindowView
-from .telemetry import Counter, Histogram, Telemetry
 
 __all__ = [
     "MicroBatcher",

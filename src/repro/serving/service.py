@@ -8,9 +8,10 @@ Wiring (one instance serves one corridor):
   answer "what is segment s's speed ``beta`` ticks from now?" — cache
   first, then one coalesced forward through the
   :class:`~repro.serving.batcher.MicroBatcher`;
-* :meth:`ForecastService.load_checkpoint` hot-swaps the model mid-stream
-  from a :mod:`repro.core.zoo` checkpoint (format v2, which carries the
-  fitted scalers).
+* :meth:`ForecastService.swap_checkpoint` hot-swaps the model mid-stream
+  from a :mod:`repro.core.zoo` checkpoint (format v2+, which carries the
+  fitted scalers); cache entries are namespaced by the serving model's
+  weight fingerprint so stale-champion values cannot outlive a swap.
 
 Degradation policy (also documented in DESIGN.md): a query the model
 cannot answer falls back to the *naive persistence forecast* — the
@@ -33,7 +34,7 @@ import numpy as np
 
 from ..attacks.defense import PerturbationGate
 from ..core.model import APOTS
-from ..core.zoo import load_model
+from ..core.zoo import load_model, model_fingerprint
 from ..data.features import FeatureScalers
 from .batcher import MicroBatcher, PendingForecast
 from .cache import ForecastCache
@@ -56,6 +57,10 @@ class Forecast:
     degraded: bool = False
     degraded_reason: str | None = None
     from_cache: bool = False
+    #: Weight fingerprint of the model that produced this value
+    #: (``repro.core.zoo.model_fingerprint``); ``None`` for naive
+    #: persistence answers, which no model produced.
+    model_fingerprint: str | None = None
 
 
 class ForecastService:
@@ -125,6 +130,7 @@ class ForecastService:
             )
         self._model = model
         self._scalers = scalers
+        self._fingerprint = model_fingerprint(model)
         self.gate = gate
         self.segment_range = (int(lo), int(hi))
         self.telemetry = Telemetry()
@@ -156,6 +162,11 @@ class ForecastService:
     @property
     def model(self) -> APOTS:
         return self._model
+
+    @property
+    def fingerprint(self) -> str:
+        """Weight fingerprint of the currently served model."""
+        return self._fingerprint
 
     def _forward(self, images: np.ndarray, day_types: np.ndarray, flat: np.ndarray) -> np.ndarray:
         return self._model.predictor.predict(images, day_types, flat)
@@ -261,7 +272,7 @@ class ForecastService:
             view = self.store.window(segment_id)
         except IncompleteWindowError as exc:
             return self._naive(segment_id, horizon, str(exc)), None, None
-        key = (segment_id, horizon, view.fingerprint)
+        key = (self._fingerprint, segment_id, horizon, view.fingerprint)
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:
@@ -278,6 +289,7 @@ class ForecastService:
             horizon_steps=horizon,
             speed_kmh=self._to_kmh(pending.value),
             source="model",
+            model_fingerprint=self._fingerprint,
         )
         if use_cache:
             self.cache.put(key, forecast)
@@ -335,7 +347,7 @@ class ForecastService:
                 if isinstance(view, IncompleteWindowError):
                     results[position] = self._naive(segment_id, horizon, str(view))
                     continue
-                key = (segment_id, horizon, view.fingerprint)
+                key = (self._fingerprint, segment_id, horizon, view.fingerprint)
                 if use_cache:
                     cached = self.cache.get(key)
                     if cached is not None:
@@ -353,13 +365,15 @@ class ForecastService:
     # ------------------------------------------------------------------
     # Model lifecycle
     # ------------------------------------------------------------------
-    def load_checkpoint(self, directory: str | Path) -> APOTS:
+    def swap_checkpoint(self, directory: str | Path) -> APOTS:
         """Hot-swap the served model from a checkpoint, mid-stream.
 
         The incoming model must match the current feature geometry (the
         state store's windows are shaped by it) and must carry scalers.
-        The forecast cache is cleared — cached values came from the old
-        weights.  Returns the new model.
+        Cache entries are keyed by the serving model's weight
+        fingerprint, so old-champion values can never satisfy a
+        post-swap lookup even if they survived; the cache is cleared
+        anyway — every old entry is dead weight.  Returns the new model.
         """
         model = load_model(directory)
         if model.features != self._model.features:
@@ -374,10 +388,15 @@ class ForecastService:
             )
         self._model = model
         self._scalers = model.scalers
+        self._fingerprint = model_fingerprint(model)
         self.store.scalers = model.scalers
         self.cache.clear()
         self.telemetry.counter("checkpoint_swaps").inc()
         return model
+
+    def load_checkpoint(self, directory: str | Path) -> APOTS:
+        """Back-compat alias for :meth:`swap_checkpoint`."""
+        return self.swap_checkpoint(directory)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -390,6 +409,7 @@ class ForecastService:
         snap = self.telemetry.snapshot()
         snap["cache"] = self.cache.stats()
         snap["model"] = self._model.name
+        snap["model_fingerprint"] = self._fingerprint
         snap["pending_requests"] = len(self.batcher)
         snap["segment_range"] = list(self.segment_range)
         snap["owned_segments"] = self.segment_range[1] - self.segment_range[0]

@@ -1,12 +1,22 @@
-"""Back-compat shim: telemetry moved to :mod:`repro.obs.telemetry`.
+"""Deprecated shim: telemetry moved to :mod:`repro.obs.telemetry`.
 
 PR 2 promoted the Counter/Histogram/Telemetry primitives into the
 shared observability layer so the training side can use them without
-importing serving. Import from ``repro.obs`` in new code; this module
-only keeps ``repro.serving.telemetry`` (and the ``repro.serving``
-re-exports) working.
+importing serving.  This module is now retired: importing it raises a
+:class:`DeprecationWarning`, every in-repo importer has been migrated,
+and ``tools/check_imports.py`` forbids new in-repo uses.  Import from
+``repro.obs`` instead.
 """
+
+import warnings
 
 from ..obs.telemetry import Counter, Histogram, Telemetry
 
 __all__ = ["Counter", "Histogram", "Telemetry"]
+
+warnings.warn(
+    "repro.serving.telemetry is deprecated; import Counter/Histogram/"
+    "Telemetry from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

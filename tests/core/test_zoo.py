@@ -126,5 +126,46 @@ class TestErrors:
         manifest = json.loads((path / "manifest.json").read_text())
         manifest["format_version"] = 0
         (path / "manifest.json").write_text(json.dumps(manifest))
-        with pytest.raises(ValueError, match=r"reads versions \(1, 2\)"):
+        with pytest.raises(ValueError, match=r"reads versions \(1, 2, 3\)"):
             load_model(path)
+
+
+class TestReferenceProfilePersistence:
+    """Format v3: the training-time input profile rides along too."""
+
+    def test_profile_roundtrips(self, fitted, tmp_path):
+        model, _ = fitted
+        assert model.reference_profile is not None  # recorded by fit()
+        save_model(model, tmp_path / "ckpt")
+        loaded = load_model(tmp_path / "ckpt")
+        assert loaded.reference_profile is not None
+        assert loaded.reference_profile == model.reference_profile
+
+    def test_manifest_declares_v3(self, fitted, tmp_path):
+        model, _ = fitted
+        path = save_model(model, tmp_path / "ckpt")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["format_version"] == 3
+        assert manifest["reference_profile"] is not None
+
+    def test_v2_checkpoint_still_loads(self, fitted, tmp_path):
+        # A pre-profile checkpoint: same weights and scalers, no profile
+        # field at all.  Must load with reference_profile=None (input
+        # drift monitoring disabled) and predict identically.
+        model, dataset = fitted
+        path = save_model(model, tmp_path / "v2")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 2
+        manifest.pop("reference_profile")
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_model(path)
+        assert loaded.reference_profile is None
+        assert loaded.scalers is not None
+        np.testing.assert_allclose(loaded.predict(dataset), model.predict(dataset))
+
+    def test_unfitted_model_saves_without_profile(self, micro_preset, tmp_path):
+        model = APOTS(predictor="F", adversarial=False, preset=micro_preset)
+        path = save_model(model, tmp_path / "ckpt")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["reference_profile"] is None
+        assert load_model(path).reference_profile is None

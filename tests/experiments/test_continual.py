@@ -1,0 +1,72 @@
+"""The `continual` experiment at micro: the full loop, deterministically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import continual
+from repro.obs import RunRecorder, use_recorder, validate_run_dir
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("continual-run")
+
+
+@pytest.fixture(scope="module")
+def result(micro_preset, run_dir):
+    recorder = RunRecorder(run_dir, manifest={"experiment": "continual"})
+    with use_recorder(recorder):
+        outcome = continual.run(preset=micro_preset, seed=7)
+    recorder.close()
+    return outcome
+
+
+class TestContinualLoop:
+    def test_drift_is_detected_and_handled(self, result):
+        assert result.triggered
+        assert result.trigger_monitor in ("error", "input")
+        assert result.swapped
+        assert result.adapted_fingerprint != result.champion_fingerprint
+
+    def test_adapted_model_recovers(self, result):
+        assert result.recovered
+        assert (
+            result.adapted_mae
+            <= continual.RECOVERY_MAE_RATIO * result.oracle_mae
+            + continual.RECOVERY_MAE_SLACK_KMH
+        )
+
+    def test_sabotage_drill_rolls_back(self, result):
+        assert result.rolled_back
+
+    def test_event_trail_covers_both_paths(self, result):
+        kinds = set(result.event_kinds)
+        assert {
+            "mlops_trigger",
+            "mlops_retrain_start",
+            "mlops_retrain_end",
+            "mlops_shadow",
+            "mlops_swap",
+            "mlops_rollback",
+        } <= kinds
+
+    def test_event_log_is_schema_valid(self, result, run_dir):
+        assert validate_run_dir(run_dir) == []
+
+    def test_render_mentions_the_loop(self, result):
+        text = result.render()
+        assert "rollback" in text
+        assert "MAE" in text
+
+    def test_deterministic_under_seed(self, result, micro_preset):
+        again = continual.run(preset=micro_preset, seed=7)
+        assert again.adapted_fingerprint == result.adapted_fingerprint
+        assert again.adapted_mae == result.adapted_mae
+        assert again.oracle_mae == result.oracle_mae
+
+
+def test_registered():
+    from repro.experiments.registry import EXPERIMENTS
+
+    assert "continual" in EXPERIMENTS

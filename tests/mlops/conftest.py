@@ -1,0 +1,49 @@
+"""Shared fixtures for the continual-learning (mlops) tests.
+
+One micro champion is trained and checkpointed per session; drift and
+controller tests rebuild services from it, mirroring production.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import APOTS
+from repro.core import save_model
+from repro.serving import Observation
+
+
+def observation_at(series, segment_id: int, step: int, column: int | None = None) -> Observation:
+    """The Observation a live feed would emit for one series cell.
+
+    ``column`` lets tests stream one series' data under another stream's
+    step numbering (e.g. appending a shifted series to a base stream).
+    """
+    column = column if column is not None else step
+    return Observation(
+        segment_id=segment_id,
+        step=step,
+        speed_kmh=float(series.speeds[segment_id, column]),
+        event=float(series.events[segment_id, column]),
+        temperature=float(series.temperature[column]),
+        precipitation=float(series.precipitation[column]),
+        day_type=tuple(series.day_types[column]),
+    )
+
+
+def tick_of(series, step: int, column: int | None = None) -> list[Observation]:
+    """One full-corridor tick of observations."""
+    return [
+        observation_at(series, segment, step, column)
+        for segment in range(series.num_segments)
+    ]
+
+
+@pytest.fixture(scope="session")
+def champion_checkpoint(tmp_path_factory, tiny_dataset, micro_preset) -> str:
+    """A fitted plain-F champion saved as a format-v3 zoo checkpoint."""
+    model = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=0)
+    model.fit(tiny_dataset)
+    directory = tmp_path_factory.mktemp("champion")
+    save_model(model, directory)
+    return str(directory)

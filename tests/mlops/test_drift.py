@@ -1,0 +1,190 @@
+"""Drift monitors: reconciliation, baselines, hysteresis, PSI triggers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ReferenceProfile
+from repro.mlops import (
+    DriftConfig,
+    ErrorDriftMonitor,
+    ErrorSample,
+    InputDriftMonitor,
+    TruthReconciler,
+)
+from repro.serving import Observation
+
+
+def obs(segment: int, step: int, speed: float) -> Observation:
+    return Observation(segment_id=segment, step=step, speed_kmh=speed, event=0.0)
+
+
+def samples_with_error(count: int, error: float, start_step: int = 0) -> list[ErrorSample]:
+    return [
+        ErrorSample(
+            segment_id=0,
+            target_step=start_step + i,
+            predicted_kmh=80.0 + error,
+            truth_kmh=80.0,
+            last_input_kmh=80.0,
+        )
+        for i in range(count)
+    ]
+
+
+CONFIG = DriftConfig(
+    error_window=16, min_samples=8, error_ratio=1.5, check_every=4, hysteresis=2
+)
+
+
+class TestTruthReconciler:
+    def test_matches_forecast_to_later_truth(self):
+        rec = TruthReconciler()
+        rec.record(2, 10, predicted_kmh=70.0, last_input_kmh=75.0)
+        assert rec.reconcile([obs(2, 9, 80.0)]) == []  # wrong step
+        (sample,) = rec.reconcile([obs(2, 10, 65.0)])
+        assert sample.predicted_kmh == 70.0
+        assert sample.truth_kmh == 65.0
+        assert sample.abs_error == pytest.approx(5.0)
+        assert len(rec) == 0  # resolved entries leave the pending set
+
+    def test_regime_labels_follow_the_paper_threshold(self):
+        drop = ErrorSample(0, 0, 50.0, 40.0, last_input_kmh=80.0)  # -50 %
+        rise = ErrorSample(0, 0, 90.0, 110.0, last_input_kmh=80.0)  # +37 %
+        flat = ErrorSample(0, 0, 79.0, 81.0, last_input_kmh=80.0)
+        assert drop.regime == "abrupt_dec"
+        assert rise.regime == "abrupt_acc"
+        assert flat.regime == "normal"
+
+    def test_pending_is_bounded(self):
+        rec = TruthReconciler(max_pending=10)
+        for step in range(25):
+            rec.record(0, step, 70.0, 70.0)
+        assert len(rec) == 10
+        assert rec.dropped == 15
+        assert rec.reconcile([obs(0, 0, 70.0)]) == []  # oldest were evicted
+
+    def test_clear_drops_everything(self):
+        rec = TruthReconciler()
+        rec.record(0, 5, 70.0, 70.0)
+        rec.clear()
+        assert rec.reconcile([obs(0, 5, 60.0)]) == []
+
+
+class TestErrorDriftMonitor:
+    def test_baseline_freezes_at_first_full_window(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        monitor.observe(samples_with_error(15, 2.0))
+        assert monitor.baseline_mae is None
+        monitor.observe(samples_with_error(1, 2.0, start_step=15))
+        assert monitor.baseline_mae == pytest.approx(2.0)
+        # Later, larger errors must not move the frozen baseline.
+        monitor.observe(samples_with_error(16, 8.0, start_step=16))
+        assert monitor.baseline_mae == pytest.approx(2.0)
+
+    def test_stable_errors_never_trigger(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        decision = monitor.observe(samples_with_error(200, 2.0))
+        assert decision is None
+
+    def test_degraded_errors_trigger_after_hysteresis(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        monitor.observe(samples_with_error(16, 2.0))  # calibrate at 2 km/h
+        decision = monitor.observe(samples_with_error(40, 9.0, start_step=16))
+        assert decision is not None
+        assert decision.monitor == "error"
+        assert decision.stats["ratio"] > CONFIG.error_ratio
+
+    def test_single_breach_is_absorbed(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        monitor.observe(samples_with_error(16, 2.0))  # baseline 2.0
+        # A short error burst breaches exactly one evaluation before the
+        # window mean falls back under threshold: the hysteresis gate
+        # (2 consecutive breaches) must not fire.
+        assert monitor.observe(samples_with_error(4, 7.0, start_step=16)) is None
+        assert monitor.observe(samples_with_error(12, 0.0, start_step=20)) is None
+        assert monitor.observe(samples_with_error(60, 2.0, start_step=32)) is None
+
+    def test_reset_recalibrates_baseline(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        monitor.observe(samples_with_error(16, 2.0))
+        monitor.reset()
+        assert monitor.baseline_mae is None
+        monitor.observe(samples_with_error(16, 6.0))
+        assert monitor.baseline_mae == pytest.approx(6.0)
+
+    def test_calm_keeps_baseline_but_clears_breaches(self):
+        monitor = ErrorDriftMonitor(CONFIG)
+        monitor.observe(samples_with_error(16, 2.0))
+        monitor.observe(samples_with_error(4, 9.0, start_step=16))  # one breach
+        monitor.calm()
+        assert monitor.baseline_mae == pytest.approx(2.0)
+        # The next trigger needs a full fresh hysteresis run.
+        assert monitor.observe(samples_with_error(4, 9.0, start_step=20)) is None
+        assert monitor.observe(samples_with_error(4, 9.0, start_step=24)) is not None
+
+    def test_emits_schema_valid_events(self, tmp_path):
+        from repro.obs import RunRecorder, validate_run_dir
+
+        recorder = RunRecorder(tmp_path, manifest={})
+        monitor = ErrorDriftMonitor(CONFIG, recorder)
+        monitor.observe(samples_with_error(60, 2.0))
+        recorder.close()
+        assert validate_run_dir(tmp_path) == []
+
+
+class TestInputDriftMonitor:
+    # PSI over a 13-bin histogram needs a few hundred samples before its
+    # sampling noise drops safely under the 0.25 threshold — production
+    # configs use day-sized windows for the same reason.
+    CONFIG = DriftConfig(input_window=512, check_every=64, hysteresis=2, mean_shift_kmh=10.0)
+
+    def _profile(self, rng):
+        return ReferenceProfile.from_speeds(rng.normal(85.0, 8.0, size=4000))
+
+    def _stream(self, speeds, start_step=0):
+        return [obs(0, start_step + i, float(s)) for i, s in enumerate(speeds)]
+
+    def test_disabled_without_profile(self):
+        monitor = InputDriftMonitor(None, self.CONFIG)
+        assert not monitor.enabled
+        assert monitor.observe(self._stream([30.0] * 500)) is None
+
+    def test_in_distribution_never_triggers(self, rng):
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG)
+        speeds = rng.normal(85.0, 8.0, size=2000)
+        assert monitor.observe(self._stream(speeds)) is None
+
+    def test_congestion_shift_triggers(self, rng):
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG)
+        monitor.observe(self._stream(rng.normal(85.0, 8.0, size=512)))
+        decision = monitor.observe(self._stream(rng.normal(35.0, 8.0, size=800), start_step=512))
+        assert decision is not None
+        assert decision.monitor == "input"
+        assert decision.stats["psi"] > self.CONFIG.psi_threshold
+
+    def test_emits_schema_valid_events(self, rng, tmp_path):
+        from repro.obs import RunRecorder, validate_run_dir
+
+        recorder = RunRecorder(tmp_path, manifest={})
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG, recorder)
+        monitor.observe(self._stream(rng.normal(40.0, 8.0, size=200)))
+        recorder.close()
+        assert validate_run_dir(tmp_path) == []
+
+
+class TestDriftConfigValidation:
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            DriftConfig(error_window=1)
+        with pytest.raises(ValueError):
+            DriftConfig(min_samples=0)
+        with pytest.raises(ValueError):
+            DriftConfig(min_samples=100, error_window=64)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            DriftConfig(error_ratio=0.9)
+        with pytest.raises(ValueError):
+            DriftConfig(hysteresis=0)

@@ -1,0 +1,94 @@
+"""HistoryBuffer: tick ingestion, ring semantics, snapshot fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import FeatureConfig, TrafficDataset
+from repro.mlops import HistoryBuffer
+
+from .conftest import tick_of
+
+
+def replay(buffer, series, steps, offset: int = 0) -> None:
+    for step in steps:
+        buffer.ingest_tick(tick_of(series, step + offset, column=step))
+
+
+class TestIngest:
+    def test_counts_contiguous_ticks(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=64)
+        replay(buffer, tiny_series, range(10))
+        assert len(buffer) == 10
+        assert buffer.latest_step == 9
+
+    def test_rejects_mixed_steps(self, tiny_series):
+        import dataclasses
+
+        buffer = HistoryBuffer(tiny_series.num_segments)
+        batch = tick_of(tiny_series, 0)
+        batch[-1] = dataclasses.replace(batch[-1], step=1)
+        with pytest.raises(ValueError, match="mixed steps"):
+            buffer.ingest_tick(batch)
+
+    def test_rejects_partial_corridor(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments)
+        with pytest.raises(ValueError, match="full corridor"):
+            buffer.ingest_tick(tick_of(tiny_series, 0)[:-1])
+
+    def test_gap_restarts_the_run(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=64)
+        replay(buffer, tiny_series, range(10))
+        buffer.ingest_tick(tick_of(tiny_series, 20))
+        assert len(buffer) == 1
+        assert buffer.latest_step == 20
+
+    def test_capacity_bounds_the_run(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=8)
+        replay(buffer, tiny_series, range(20))
+        assert len(buffer) == 8
+        assert buffer.latest_step == 19
+
+    def test_last_speed_tracks_latest_tick(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=8)
+        replay(buffer, tiny_series, range(5))
+        assert buffer.last_speed_kmh(3) == pytest.approx(float(tiny_series.speeds[3, 4]))
+
+
+class TestSnapshot:
+    def test_snapshot_matches_source_series(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=128)
+        replay(buffer, tiny_series, range(100))
+        snap = buffer.snapshot()
+        np.testing.assert_allclose(snap.speeds, tiny_series.speeds[:, :100])
+        np.testing.assert_allclose(snap.events, tiny_series.events[:, :100])
+        np.testing.assert_allclose(snap.temperature, tiny_series.temperature[:100])
+        np.testing.assert_allclose(snap.day_types, tiny_series.day_types[:100])
+
+    def test_snapshot_tail_only(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=128)
+        replay(buffer, tiny_series, range(100))
+        snap = buffer.snapshot(steps=30)
+        assert snap.num_steps == 30
+        np.testing.assert_allclose(snap.speeds, tiny_series.speeds[:, 70:100])
+
+    def test_snapshot_is_deterministic(self, tiny_series):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=64)
+        replay(buffer, tiny_series, range(50))
+        first = buffer.snapshot()
+        second = buffer.snapshot()
+        np.testing.assert_array_equal(first.speeds, second.speeds)
+        assert first.timestamps == second.timestamps
+
+    def test_snapshot_feeds_the_feature_pipeline(self, tiny_series):
+        """The whole point: a snapshot must be trainable on directly."""
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=128)
+        replay(buffer, tiny_series, range(120))
+        snap = buffer.snapshot()
+        dataset = TrafficDataset(snap, FeatureConfig(beta=1), seed=3)
+        assert dataset.features.num_windows == 120 - 12 - 1 + 1
+
+    def test_empty_buffer_refuses_snapshot(self, tiny_series):
+        with pytest.raises(ValueError, match="empty"):
+            HistoryBuffer(tiny_series.num_segments).snapshot()

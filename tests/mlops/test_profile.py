@@ -1,0 +1,69 @@
+"""Reference profiles: construction, PSI behaviour, persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ReferenceProfile, SPEED_BIN_EDGES
+
+
+class TestConstruction:
+    def test_from_speeds_records_moments(self, rng):
+        speeds = rng.normal(80.0, 10.0, size=5000)
+        profile = ReferenceProfile.from_speeds(speeds)
+        assert profile.mean_kmh == pytest.approx(speeds.mean())
+        assert profile.std_kmh == pytest.approx(speeds.std())
+        assert profile.count == 5000
+        assert np.asarray(profile.proportions).sum() == pytest.approx(1.0)
+
+    def test_from_series_covers_all_segments(self, tiny_series):
+        profile = ReferenceProfile.from_series(tiny_series)
+        assert profile.count == tiny_series.speeds.size
+
+    def test_bin_edges_span_plausible_speeds(self):
+        edges = np.asarray(SPEED_BIN_EDGES)
+        assert edges[0] == 0.0 and edges[-1] == 130.0
+        assert np.all(np.diff(edges) > 0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceProfile.from_speeds(np.array([]))
+
+
+class TestPsi:
+    def test_identical_distribution_is_near_zero(self, rng):
+        speeds = rng.normal(75.0, 12.0, size=8000)
+        profile = ReferenceProfile.from_speeds(speeds[:4000])
+        assert profile.psi(speeds[4000:]) < 0.05
+
+    def test_shifted_distribution_is_large(self, rng):
+        profile = ReferenceProfile.from_speeds(rng.normal(90.0, 8.0, size=4000))
+        congested = rng.normal(35.0, 8.0, size=4000)
+        assert profile.psi(congested) > 0.25
+
+    def test_psi_monotone_in_shift(self, rng):
+        profile = ReferenceProfile.from_speeds(rng.normal(80.0, 10.0, size=4000))
+        psis = [
+            profile.psi(rng.normal(80.0 - delta, 10.0, size=2000))
+            for delta in (0.0, 15.0, 30.0)
+        ]
+        assert psis[0] < psis[1] < psis[2]
+
+    def test_out_of_range_speeds_are_clipped_not_dropped(self):
+        profile = ReferenceProfile.from_speeds(np.full(100, 60.0))
+        # 200 km/h lands in the top bin rather than vanishing.
+        assert np.isfinite(profile.psi(np.full(50, 200.0)))
+
+
+class TestPersistence:
+    def test_state_roundtrip(self, rng):
+        profile = ReferenceProfile.from_speeds(rng.normal(70.0, 9.0, size=1000))
+        clone = ReferenceProfile.from_state(profile.state_dict())
+        assert clone == profile
+
+    def test_state_dict_is_json_safe(self, rng):
+        import json
+
+        profile = ReferenceProfile.from_speeds(rng.normal(70.0, 9.0, size=100))
+        json.dumps(profile.state_dict())  # must not raise

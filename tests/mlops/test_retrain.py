@@ -1,0 +1,128 @@
+"""Retrainer: warm start, time-ordered split, failure-as-result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import load_model
+from repro.mlops import HistoryBuffer, RetrainSpec, retrain_challenger
+from repro.mlops.retrain import _time_ordered_split
+
+from .conftest import tick_of
+
+SPEC = RetrainSpec(epochs=1, batch_size=16, max_steps_per_epoch=4, min_windows=48)
+
+
+@pytest.fixture(scope="module")
+def history(tiny_series):
+    """A 400-tick snapshot taken through the ring buffer, as live."""
+    buffer = HistoryBuffer(tiny_series.num_segments, capacity=512)
+    for step in range(400):
+        buffer.ingest_tick(tick_of(tiny_series, step))
+    return buffer.snapshot()
+
+
+class TestTimeOrderedSplit:
+    def test_holdout_is_the_newest_tail(self):
+        split = _time_ordered_split(100, holdout=20, gap=13)
+        assert split.test.tolist() == list(range(80, 100))
+        assert split.train.tolist() == list(range(0, 67))
+        assert split.validation.size == 0
+
+    def test_gap_prevents_window_overlap(self):
+        split = _time_ordered_split(100, holdout=20, gap=13)
+        assert split.train.max() + 13 < split.test.min()
+
+    def test_degenerate_history_yields_empty_train(self):
+        split = _time_ordered_split(20, holdout=18, gap=13)
+        assert split.train.size == 0
+
+
+class TestRetrain:
+    def test_produces_loadable_challenger(self, champion_checkpoint, history, tmp_path):
+        result = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        assert result.ok, result.error
+        challenger = load_model(result.challenger_dir)
+        assert challenger.kind == "F"
+        assert challenger.scalers is not None
+
+    def test_reuses_champion_scalers(self, champion_checkpoint, history, tmp_path):
+        result = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        champion = load_model(champion_checkpoint)
+        challenger = load_model(result.challenger_dir)
+        assert challenger.scalers.speed.minimum == champion.scalers.speed.minimum
+        assert challenger.scalers.speed.maximum == champion.scalers.speed.maximum
+
+    def test_challenger_profile_reflects_recent_history(
+        self, champion_checkpoint, history, tmp_path
+    ):
+        result = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        challenger = load_model(result.challenger_dir)
+        assert challenger.reference_profile is not None
+        assert challenger.reference_profile.count == history.speeds.size
+
+    def test_deterministic_under_seed(self, champion_checkpoint, history, tmp_path):
+        from repro.core import model_fingerprint
+
+        first = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=11, workdir=tmp_path / "a"
+        )
+        second = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=11, workdir=tmp_path / "b"
+        )
+        assert model_fingerprint(load_model(first.challenger_dir)) == model_fingerprint(
+            load_model(second.challenger_dir)
+        )
+
+    def test_holdout_windows_are_newest_and_unseen(self, champion_checkpoint, history, tmp_path):
+        result = retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        assert result.holdout.max() == result.dataset.features.num_windows - 1
+        gap = result.dataset.config.alpha + result.dataset.config.beta
+        assert result.dataset.split.train.max() + gap < result.holdout.min()
+
+    def test_insufficient_history_is_a_result_not_an_exception(
+        self, champion_checkpoint, tiny_series, tmp_path
+    ):
+        buffer = HistoryBuffer(tiny_series.num_segments, capacity=64)
+        for step in range(40):
+            buffer.ingest_tick(tick_of(tiny_series, step))
+        result = retrain_challenger(
+            champion_checkpoint, buffer.snapshot(), spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        assert result.status == "insufficient_history"
+        assert not result.ok
+        assert result.challenger_dir is None
+
+    def test_broken_checkpoint_is_a_failed_result(self, history, tmp_path):
+        result = retrain_challenger(
+            tmp_path / "no-such-checkpoint", history, spec=SPEC, seed=3, workdir=tmp_path / "c"
+        )
+        assert result.status == "failed"
+        assert result.error
+
+    def test_emits_retrain_events(self, champion_checkpoint, history, tmp_path):
+        from repro.obs import RunRecorder, validate_run_dir
+        import json
+
+        run_dir = tmp_path / "run"
+        recorder = RunRecorder(run_dir, manifest={})
+        retrain_challenger(
+            champion_checkpoint, history, spec=SPEC, seed=3,
+            workdir=tmp_path / "c", recorder=recorder,
+        )
+        recorder.close()
+        assert validate_run_dir(run_dir) == []
+        kinds = [
+            json.loads(line)["kind"]
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert "mlops_retrain_start" in kinds
+        assert "mlops_retrain_end" in kinds

@@ -108,6 +108,56 @@ class TestValidateEvent:
                 p50_ms=1.2,
                 p99_ms=26.0,
             ),
+            "fleet_swap": envelope("fleet_swap", shards_swapped=2, fingerprint="ab12"),
+            "drift_error": envelope(
+                "drift_error",
+                samples=64,
+                regime="whole",
+                rolling_mae=6.1,
+                baseline_mae=3.0,
+                ratio=2.03,
+                threshold=1.5,
+                breaches=2,
+                triggered=False,
+            ),
+            "drift_input": envelope(
+                "drift_input",
+                samples=256,
+                psi=0.31,
+                psi_threshold=0.25,
+                mean_kmh=48.0,
+                reference_mean_kmh=71.0,
+                breaches=3,
+                triggered=True,
+            ),
+            "mlops_trigger": envelope(
+                "mlops_trigger", monitor="error", reason="mae ratio 2.03", step=410, seed=7
+            ),
+            "mlops_retrain_start": envelope(
+                "mlops_retrain_start", seed=7, num_windows=320, epochs=2
+            ),
+            "mlops_retrain_end": envelope(
+                "mlops_retrain_end", status="ok", num_windows=320, duration_s=4.2
+            ),
+            "mlops_shadow": envelope(
+                "mlops_shadow",
+                champion_mae=6.1,
+                challenger_mae=3.4,
+                rel_improvement=0.44,
+                num_samples=80,
+                promote=True,
+                reason="rel improvement 0.44 >= 0.02",
+            ),
+            "mlops_swap": envelope(
+                "mlops_swap", fingerprint="cd34", previous_fingerprint="ab12", shards=2
+            ),
+            "mlops_rollback": envelope(
+                "mlops_rollback",
+                fingerprint="cd34",
+                restored_fingerprint="ab12",
+                rolling_mae=9.4,
+                guard_mae=3.1,
+            ),
         }
         assert set(samples) == set(EVENT_SCHEMA)
         for kind, event in samples.items():

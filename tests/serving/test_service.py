@@ -153,6 +153,33 @@ class TestCheckpointServing:
         replay(service, tiny_series, [15])
         assert not service.predict(4).degraded
 
+    def test_cache_keys_are_fingerprint_namespaced(
+        self, served_model, tiny_dataset, tiny_series, micro_preset, tmp_path
+    ):
+        """Regression: even an *uncleared* cache cannot leak stale values.
+
+        ``swap_checkpoint`` clears the cache, but the load-bearing
+        guarantee is the fingerprint in the cache key — defence in depth
+        against any future path that forgets to clear.  Disable the
+        clear and prove a pre-swap entry still cannot answer.
+        """
+        other = APOTS(predictor="F", adversarial=False, preset=micro_preset, seed=7)
+        other.fit(tiny_dataset)
+        save_model(served_model, tmp_path / "a")
+        save_model(other, tmp_path / "b")
+        service = ForecastService.from_checkpoint(
+            tmp_path / "a", num_segments=tiny_series.num_segments
+        )
+        replay(service, tiny_series, range(15))
+        service.predict(4)
+        assert service.predict(4).from_cache  # entry is primed
+        service.cache.clear = lambda: None  # sabotage the belt...
+        service.swap_checkpoint(tmp_path / "b")
+        assert len(service.cache) == 1  # stale entry really survived
+        after = service.predict(4)
+        assert not after.from_cache  # ...the braces still hold
+        assert after.model_fingerprint == service.fingerprint
+
     def test_swap_rejects_geometry_mismatch(self, warm_service, micro_preset, tmp_path):
         other = APOTS(
             predictor="F",

@@ -35,6 +35,13 @@ serving path deployable without dragging the offline experiment harness
   loader via carve-outs) but nothing else; and nothing imports
   ``repro.fleet`` except ``repro.experiments`` and tools — replicas are
   plain serving processes that must not know they are being fleeted
+* ``repro.mlops``    orchestrates across the stack, so it may import
+  core / data / traffic / metrics / serving / fleet / obs / parallel —
+  but never the experiment harness or attack stack; and only
+  ``repro.experiments`` and tools may import ``repro.mlops`` back — the
+  serving path must work without the continual-learning loop
+* ``repro.serving.telemetry`` is a deprecated shim (the real module is
+  ``repro.obs.telemetry``): no in-repo module may import it
 
 Run directly or via ``tools/ci.sh``::
 
@@ -127,6 +134,13 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.metrics",
         "repro.routing",
     ),
+    "repro.mlops": (
+        "repro.experiments",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.nn",
+        "repro.routing",
+    ),
 }
 
 #: Narrow carve-outs from FORBIDDEN: module prefix -> module names it may
@@ -165,6 +179,14 @@ ALLOWED: dict[str, tuple[str, ...]] = {
 #: ``repro.nn.__init__``.
 RESTRICTED_IMPORTERS: dict[str, tuple[str, ...]] = {
     "repro.nn.compile": ("repro.nn", "repro.core", "repro.attacks"),
+    # The continual-learning loop drives serving, never the reverse: a
+    # forecast server must boot without the retraining machinery.  Tools
+    # live outside src/repro, so the smoke scripts stay free to use it.
+    "repro.mlops": ("repro.mlops", "repro.experiments"),
+    # Deprecated shim (moved to repro.obs.telemetry in PR 5, retired in
+    # PR 8): external importers get a DeprecationWarning, in-repo
+    # importers get a CI failure.
+    "repro.serving.telemetry": (),
 }
 
 
@@ -212,7 +234,7 @@ def check() -> list[str]:
                     violations.append(
                         f"{path.relative_to(SRC.parent)}:{lineno}: "
                         f"{module} imports {imported} (restricted to "
-                        f"{', '.join(importers)})"
+                        f"{', '.join(importers) or 'nothing: deprecated'})"
                     )
         layers = [
             layer
