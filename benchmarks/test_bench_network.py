@@ -1,0 +1,86 @@
+"""Bench: network scenario-engine throughput across city sizes.
+
+Simulation throughput (segment-steps/s) at ~100 / ~1k / ~5k segments,
+plus gravity-OD build-and-assign wall time on the 1k city.  All numbers
+land in ``BENCH_<preset>.json`` via :func:`record_metric` so the perf
+trajectory of the wave engine can be diffed across PRs.
+"""
+
+import time
+
+from conftest import BENCH_SEED, record_metric, report, run_once
+
+from repro.network import (
+    gravity_od_matrix,
+    grid_city,
+    segment_demand_weights,
+    simulate_network,
+    zones_from_graph,
+)
+from repro.traffic.types import SimulationConfig
+
+# Junction grids sized to land near the ISSUE's 100 / 1k / 5k segment tiers:
+# segments = 2 * (rows*(cols-1) + cols*(rows-1)).
+GRIDS = {"100": (5, 6), "1k": (16, 17), "5k": (35, 37)}
+
+
+def _simulate(rows: int, cols: int) -> tuple[int, int, float]:
+    graph = grid_city(rows, cols, seed=0)
+    config = SimulationConfig(num_days=1, seed=BENCH_SEED)
+    started = time.perf_counter()
+    series = simulate_network(graph, config)
+    elapsed = time.perf_counter() - started
+    return len(graph), series.num_steps, elapsed
+
+
+def test_network_sim_throughput(benchmark):
+    def sweep():
+        return {tier: _simulate(*dims) for tier, dims in GRIDS.items()}
+
+    results = run_once(benchmark, sweep)
+    lines = []
+    for tier, (segments, steps, elapsed) in results.items():
+        throughput = segments * steps / elapsed
+        record_metric(
+            "test_network_sim_throughput",
+            **{
+                f"segments_{tier}": segments,
+                f"sim_s_{tier}": round(elapsed, 4),
+                f"segment_steps_per_s_{tier}": round(throughput, 1),
+            },
+        )
+        lines.append(
+            f"{tier:>4}: {segments} segments x {steps} steps in {elapsed:.2f}s "
+            f"({throughput:,.0f} segment-steps/s)"
+        )
+    report("network sim throughput\n" + "\n".join(lines))
+    # Throughput should not fall off a cliff with size (vectorised
+    # engine: the 5k city must stay within 20x of the 100-segment rate).
+    small = results["100"][0] * results["100"][1] / results["100"][2]
+    large = results["5k"][0] * results["5k"][1] / results["5k"][2]
+    assert large > small / 20.0
+
+
+def test_gravity_od_wall_time(benchmark):
+    graph = grid_city(*GRIDS["1k"], seed=0)
+
+    def build():
+        zones = zones_from_graph(graph, seed=BENCH_SEED)
+        od = gravity_od_matrix(zones)
+        return segment_demand_weights(graph, od)
+
+    started = time.perf_counter()
+    weights = run_once(benchmark, build)
+    elapsed = time.perf_counter() - started
+    record_metric(
+        "test_gravity_od_wall_time",
+        segments=len(graph),
+        zones=graph.num_zones,
+        od_build_s=round(elapsed, 4),
+    )
+    report(
+        f"gravity OD on {len(graph)} segments / {graph.num_zones} zones: "
+        f"{elapsed:.3f}s"
+    )
+    assert weights.shape == (len(graph),)
+    assert weights.min() >= 0.6 and weights.max() <= 1.6

@@ -45,13 +45,23 @@ def _proportions(speeds_kmh: np.ndarray, edges: np.ndarray) -> np.ndarray:
 
 @dataclass(frozen=True)
 class ReferenceProfile:
-    """Distribution snapshot of the raw km/h speeds a model trained on."""
+    """Distribution snapshot of the raw km/h speeds a model trained on.
+
+    ``day_bins`` optionally conditions the profile on day type:
+    ``("weekday", sub_profile)`` / ``("offday", sub_profile)`` pairs
+    built by :meth:`from_series`.  Weekly seasonality (weekend speeds
+    run structurally faster) inflates an *unconditioned* PSI on windows
+    that mix day types; a conditioned monitor compares each day type
+    against its own training distribution instead.  The field defaults
+    to empty so profiles serialised before it existed load unchanged.
+    """
 
     mean_kmh: float
     std_kmh: float
     count: int
     bin_edges: tuple[float, ...]
     proportions: tuple[float, ...]
+    day_bins: tuple[tuple[str, "ReferenceProfile"], ...] = ()
 
     def __post_init__(self):
         if len(self.proportions) != len(self.bin_edges) - 1:
@@ -80,8 +90,35 @@ class ReferenceProfile:
 
     @staticmethod
     def from_series(series) -> "ReferenceProfile":
-        """Profile every segment of a :class:`~repro.traffic.types.TrafficSeries`."""
-        return ReferenceProfile.from_speeds(series.speeds)
+        """Profile every segment of a :class:`~repro.traffic.types.TrafficSeries`.
+
+        Alongside the overall profile, builds day-type-conditioned
+        sub-profiles from the series' calendar channel: ``"weekday"``
+        covers timesteps whose day-type vector marks a working day,
+        ``"offday"`` the rest (weekends and holidays).  A bin with no
+        timesteps is omitted.
+        """
+        overall = ReferenceProfile.from_speeds(series.speeds)
+        weekday_mask = series.day_types[:, 0] > 0.5
+        day_bins: list[tuple[str, ReferenceProfile]] = []
+        for label, mask in (("weekday", weekday_mask), ("offday", ~weekday_mask)):
+            if mask.any():
+                day_bins.append((label, ReferenceProfile.from_speeds(series.speeds[:, mask])))
+        return ReferenceProfile(
+            mean_kmh=overall.mean_kmh,
+            std_kmh=overall.std_kmh,
+            count=overall.count,
+            bin_edges=overall.bin_edges,
+            proportions=overall.proportions,
+            day_bins=tuple(day_bins),
+        )
+
+    def day_profile(self, label: str) -> "ReferenceProfile | None":
+        """The conditioned sub-profile for a day-type label, if present."""
+        for name, sub in self.day_bins:
+            if name == label:
+                return sub
+        return None
 
     # ------------------------------------------------------------------
     def psi(self, speeds_kmh: np.ndarray) -> float:
@@ -95,13 +132,18 @@ class ReferenceProfile:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """JSON-serialisable snapshot (checkpoint manifests embed it)."""
-        return {
+        state = {
             "mean_kmh": self.mean_kmh,
             "std_kmh": self.std_kmh,
             "count": self.count,
             "bin_edges": list(self.bin_edges),
             "proportions": list(self.proportions),
         }
+        if self.day_bins:
+            state["day_bins"] = [
+                [label, sub.state_dict()] for label, sub in self.day_bins
+            ]
+        return state
 
     @staticmethod
     def from_state(state: dict) -> "ReferenceProfile":
@@ -111,4 +153,8 @@ class ReferenceProfile:
             count=int(state["count"]),
             bin_edges=tuple(float(x) for x in state["bin_edges"]),
             proportions=tuple(float(p) for p in state["proportions"]),
+            day_bins=tuple(
+                (str(label), ReferenceProfile.from_state(sub))
+                for label, sub in state.get("day_bins", [])
+            ),
         )

@@ -4,7 +4,19 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from . import ablations, adv_train, continual, fig1, fig4, fig5, fig6, robustness, table2, table3
+from . import (
+    ablations,
+    adv_train,
+    continual,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    network,
+    robustness,
+    table2,
+    table3,
+)
 
 __all__ = ["EXPERIMENTS", "run_experiment", "Renderable"]
 
@@ -54,6 +66,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
     "continual": (
         continual.run,
         "continual learning: drift detect -> retrain -> shadow -> hot-swap -> rollback",
+    ),
+    "network": (
+        network.run,
+        "city-scale road-graph scenario engine: baseline vs stress KPIs",
     ),
 }
 

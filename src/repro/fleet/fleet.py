@@ -100,6 +100,11 @@ class ForecastFleet:
         worker processes at all); ``shards>=2`` spawns one single-worker
         :class:`WorkerGroup` per shard so one replica's death never
         takes down another.
+    shard_starts:
+        Optional explicit cut positions for the contiguous partition
+        (``starts[0] == 0``, strictly increasing) — how graph-aware
+        partitions (``repro.network.sharding.partition_starts``) reach
+        the fleet as plain data.  ``None`` keeps the balanced layout.
     gate_config:
         Optional :class:`repro.attacks.defense.GateConfig`; each replica
         builds its own :class:`PerturbationGate` over its halo stream.
@@ -122,6 +127,7 @@ class ForecastFleet:
         num_segments: int,
         *,
         shards: int = 1,
+        shard_starts: tuple[int, ...] | None = None,
         gate_config: GateConfig | None = None,
         max_queue_per_shard: int = 256,
         max_batch_size: int = 64,
@@ -136,7 +142,7 @@ class ForecastFleet:
         model = load_model(checkpoint_dir)
         self.features = model.features
         self.num_segments = num_segments
-        self.shard_map = ShardMap(num_segments, shards)
+        self.shard_map = ShardMap(num_segments, shards, starts=shard_starts)
         self.admission = AdmissionController(shards, max_queue_per_shard)
         self.telemetry = Telemetry()
         self._recorder = recorder
@@ -175,6 +181,7 @@ class ForecastFleet:
                         num_segments=num_segments,
                         shard=shard,
                         num_shards=shards,
+                        shard_starts=self.shard_map.starts,
                         gate_config=gate_config,
                         **service_kwargs,  # type: ignore[arg-type]
                     )

@@ -46,6 +46,7 @@ class ReplicaSpec:
     num_segments: int
     shard: int
     num_shards: int
+    shard_starts: tuple[int, ...] | None = None
     gate_config: GateConfig | None = None
     max_batch_size: int = 64
     cache_capacity: int = 4096
@@ -62,7 +63,7 @@ class ShardReplica:
 
     def __init__(self, spec: ReplicaSpec):
         self.spec = spec
-        shard_map = ShardMap(spec.num_segments, spec.num_shards)
+        shard_map = ShardMap(spec.num_segments, spec.num_shards, starts=spec.shard_starts)
         self.owned = shard_map.owned_range(spec.shard)
         gate = PerturbationGate(spec.gate_config) if spec.gate_config is not None else None
         self.service = ForecastService.from_checkpoint(

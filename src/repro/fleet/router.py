@@ -33,10 +33,18 @@ class ShardMap:
     ``[floor(i * n / k), floor((i + 1) * n / k))`` — sizes differ by at
     most one, and the layout for ``k`` shards refines deterministically
     as ``k`` grows.
+
+    ``starts`` overrides the balanced cut positions with explicit ones
+    (``starts[0] == 0``, strictly increasing, all below
+    ``num_segments``) — how graph-aware partitions from
+    ``repro.network.sharding`` reach the fleet as plain data.  Every
+    routing property (contiguous ownership, halo coverage, contiguous
+    ``shards_for_observation``) holds for any valid ``starts``.
     """
 
     num_segments: int
     num_shards: int
+    starts: tuple[int, ...] | None = None
     _starts: tuple[int, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
@@ -49,9 +57,24 @@ class ShardMap:
                 f"cannot spread {self.num_segments} segments over "
                 f"{self.num_shards} shards (shards would own nothing)"
             )
-        starts = tuple(
-            (i * self.num_segments) // self.num_shards for i in range(self.num_shards)
-        )
+        if self.starts is not None:
+            starts = tuple(int(s) for s in self.starts)
+            if len(starts) != self.num_shards:
+                raise ValueError(
+                    f"starts must have one entry per shard "
+                    f"({self.num_shards}), got {len(starts)}"
+                )
+            if starts[0] != 0:
+                raise ValueError("starts[0] must be 0")
+            for a, b in zip(starts, starts[1:]):
+                if b <= a:
+                    raise ValueError("starts must be strictly increasing")
+            if starts[-1] >= self.num_segments:
+                raise ValueError("starts must stay below num_segments")
+        else:
+            starts = tuple(
+                (i * self.num_segments) // self.num_shards for i in range(self.num_shards)
+            )
         object.__setattr__(self, "_starts", starts)
 
     # ------------------------------------------------------------------

@@ -293,7 +293,22 @@ class ErrorDriftMonitor:
 
 
 class InputDriftMonitor:
-    """Input-distribution shift against a training-time reference profile."""
+    """Input-distribution shift against a training-time reference profile.
+
+    When the profile carries day-type bins (format v3 profiles built by
+    :meth:`ReferenceProfile.from_series`) and the observation stream
+    labels its day types, the PSI and mean-shift statistics are
+    **conditioned**: each day type in the window is compared against its
+    own training sub-distribution and the worst subgroup gates the
+    breach.  That removes the weekly-seasonality false-positive (a
+    weekend window legitimately runs faster than the pooled training
+    mean), which is what lets the PSI threshold sit at the conventional
+    0.25 instead of being inflated to tolerate seasonality.
+    """
+
+    #: Minimum samples a day-type subgroup needs in the window before its
+    #: conditioned PSI is trusted (smaller subgroups are skipped).
+    MIN_SUBGROUP = 24
 
     def __init__(
         self,
@@ -305,6 +320,7 @@ class InputDriftMonitor:
         self.config = config if config is not None else DriftConfig()
         self.recorder = recorder
         self._speeds: deque[float] = deque(maxlen=self.config.input_window)
+        self._labels: deque[str | None] = deque(maxlen=self.config.input_window)
         self._gate = _HysteresisGate(self.config.hysteresis)
         self._since_check = 0
         self._latest_step = 0
@@ -316,12 +332,21 @@ class InputDriftMonitor:
 
     def reset(self) -> None:
         self._speeds.clear()
+        self._labels.clear()
         self._gate.breaches = 0
         self._since_check = 0
 
     def calm(self) -> None:
         """Clear only the hysteresis trail (see ErrorDriftMonitor.calm)."""
         self._gate.breaches = 0
+
+    @staticmethod
+    def _day_label(observation) -> str | None:
+        """Day-type label of one observation, or None when unlabelled."""
+        day_type = getattr(observation, "day_type", None)
+        if day_type is None:
+            return None
+        return "weekday" if day_type[0] > 0.5 else "offday"
 
     # ------------------------------------------------------------------
     def observe(self, observations) -> DriftDecision | None:
@@ -331,6 +356,7 @@ class InputDriftMonitor:
         decision = None
         for obs in observations:
             self._speeds.append(float(obs.speed_kmh))
+            self._labels.append(self._day_label(obs))
             self._since_check += 1
             self._latest_step = max(self._latest_step, int(obs.step))
             full = len(self._speeds) == self.config.input_window
@@ -340,12 +366,36 @@ class InputDriftMonitor:
                 decision = decision or fired
         return decision
 
+    def _statistics(self, window: np.ndarray) -> tuple[float, float, float, bool]:
+        """(psi, mean, reference_mean, conditioned) for the current window.
+
+        Conditioned when the profile has day bins and every sample in
+        the window carries a day-type label: each sufficiently populated
+        subgroup is scored against its own sub-profile and the worst one
+        is reported.  Otherwise falls back to the pooled statistic.
+        """
+        assert self.profile is not None
+        labels = list(self._labels)
+        if self.profile.day_bins and all(label is not None for label in labels):
+            label_array = np.asarray(labels)
+            worst: tuple[float, float, float] | None = None
+            for label, sub in self.profile.day_bins:
+                mask = label_array == label
+                if int(mask.sum()) < self.MIN_SUBGROUP:
+                    continue
+                sub_window = window[mask]
+                candidate = (sub.psi(sub_window), float(sub_window.mean()), sub.mean_kmh)
+                if worst is None or candidate[0] > worst[0]:
+                    worst = candidate
+            if worst is not None:
+                return worst[0], worst[1], worst[2], True
+        return self.profile.psi(window), float(window.mean()), self.profile.mean_kmh, False
+
     def _evaluate(self) -> DriftDecision | None:
         assert self.profile is not None
         window = np.asarray(self._speeds)
-        psi = self.profile.psi(window)
-        mean = float(window.mean())
-        mean_shift = abs(mean - self.profile.mean_kmh)
+        psi, mean, reference_mean, conditioned = self._statistics(window)
+        mean_shift = abs(mean - reference_mean)
         breached = psi > self.config.psi_threshold or mean_shift > self.config.mean_shift_kmh
         triggered = self._gate.update(breached)
         if self.recorder is not None:
@@ -355,19 +405,27 @@ class InputDriftMonitor:
                 psi=psi,
                 psi_threshold=self.config.psi_threshold,
                 mean_kmh=mean,
-                reference_mean_kmh=self.profile.mean_kmh,
+                reference_mean_kmh=reference_mean,
+                conditioned=conditioned,
                 breaches=self._gate.breaches,
                 triggered=triggered,
             )
         if not triggered:
             return None
         self._gate.breaches = 0
+        qualifier = "conditioned " if conditioned else ""
         return DriftDecision(
             monitor="input",
             reason=(
-                f"input PSI {psi:.3f} (threshold {self.config.psi_threshold}), "
-                f"mean {mean:.1f} km/h vs training {self.profile.mean_kmh:.1f}"
+                f"{qualifier}input PSI {psi:.3f} (threshold "
+                f"{self.config.psi_threshold}), mean {mean:.1f} km/h vs "
+                f"training {reference_mean:.1f}"
             ),
             step=self._latest_step,
-            stats={"psi": psi, "mean_kmh": mean, "reference_mean_kmh": self.profile.mean_kmh},
+            stats={
+                "psi": psi,
+                "mean_kmh": mean,
+                "reference_mean_kmh": reference_mean,
+                "conditioned": conditioned,
+            },
         )

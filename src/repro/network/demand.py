@@ -1,0 +1,222 @@
+"""Zone-based origin–destination demand via a gravity model.
+
+The corridor simulator models demand as one shared diurnal profile plus
+a per-segment bias — good enough for a line, but a network needs to know
+*where* trips concentrate: the SUMO-style pipeline the ROADMAP cites
+builds an OD matrix first and loads the network by routing it.
+
+This module follows that shape deterministically:
+
+1. :func:`zones_from_graph` gives each of the graph's demand zones a
+   centroid (mean member-segment midpoint) and seeded production /
+   attraction masses.
+2. :func:`gravity_od_matrix` fills the OD matrix with the classic
+   gravity form ``T_ij ∝ P_i * A_j / d_ij^deterrence`` (unit-normalised
+   so it composes with the corridor's demand-fraction scale).
+3. :func:`assign_od_to_segments` routes every zone pair along the
+   free-flow shortest path (:mod:`repro.routing` Dijkstra over
+   :meth:`RoadGraph.adjacency`) and accumulates per-segment load.
+4. :func:`segment_demand_weights` softens the loads into multiplicative
+   demand weights (mean 1.0) that
+   :class:`repro.network.waves.NetworkSimulator` applies on top of the
+   corridor's shared diurnal profile.
+
+Day-type and event modifiers reuse :mod:`repro.traffic.calendar`:
+:func:`day_demand_scale` mirrors the corridor's weekday/weekend/holiday
+scaling, and stadium-event pulses live in
+:mod:`repro.network.scenarios` (they are schedule modifiers, not OD
+structure).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.paths import dijkstra
+from ..traffic.calendar import is_holiday, is_weekend
+from ..traffic.types import SimulationConfig
+from .graph import RoadGraph
+
+__all__ = [
+    "Zone",
+    "zones_from_graph",
+    "gravity_od_matrix",
+    "day_demand_scale",
+    "assign_od_to_segments",
+    "segment_demand_weights",
+]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One traffic analysis zone: masses for the gravity model."""
+
+    zone_id: int
+    name: str
+    centroid: tuple[float, float]
+    population: float  # production mass (trips originate here)
+    attraction: float  # attraction mass (trips end here)
+
+    def __post_init__(self):
+        if self.population <= 0 or self.attraction <= 0:
+            raise ValueError("zone masses must be positive")
+
+
+def zones_from_graph(graph: RoadGraph, seed: int = 0) -> tuple[Zone, ...]:
+    """Build the graph's zones with seeded masses.
+
+    Centroids are the mean midpoints of each zone's member segments;
+    population and attraction are drawn from one seeded rng in zone-id
+    order, so the same ``(graph, seed)`` always yields the same zones.
+    A zone with no member segments gets the graph's overall centroid
+    (it can still attract through trips).
+    """
+    rng = np.random.default_rng(seed)
+    positions = graph.segment_positions()
+    zone_ids = np.asarray(graph.zone_of)
+    zones = []
+    for zone_id in range(graph.num_zones):
+        members = positions[zone_ids == zone_id]
+        centroid = members.mean(axis=0) if len(members) else positions.mean(axis=0)
+        zones.append(
+            Zone(
+                zone_id=zone_id,
+                name=f"zone-{zone_id:02d}",
+                centroid=(float(centroid[0]), float(centroid[1])),
+                population=float(rng.uniform(20_000.0, 120_000.0)),
+                attraction=float(rng.uniform(15_000.0, 100_000.0)),
+            )
+        )
+    return tuple(zones)
+
+
+def gravity_od_matrix(
+    zones: tuple[Zone, ...] | list[Zone],
+    deterrence: float = 1.4,
+    min_distance_km: float = 1.0,
+) -> np.ndarray:
+    """The gravity-model OD matrix, normalised to sum to 1.
+
+    ``T_ij = P_i * A_j / max(d_ij, min_distance)^deterrence`` with the
+    diagonal zeroed (intra-zonal trips never load inter-zone paths).
+    Normalisation makes the matrix a *distribution* of inter-zonal
+    demand, so absolute trip volume stays a property of the simulation
+    config, not the geography.
+    """
+    if len(zones) < 1:
+        raise ValueError("need at least one zone")
+    if deterrence <= 0:
+        raise ValueError("deterrence must be positive")
+    centroids = np.array([z.centroid for z in zones])
+    production = np.array([z.population for z in zones])
+    attraction = np.array([z.attraction for z in zones])
+    distance = np.linalg.norm(centroids[:, None, :] - centroids[None, :, :], axis=2)
+    distance = np.maximum(distance, min_distance_km)
+    od = production[:, None] * attraction[None, :] / distance**deterrence
+    np.fill_diagonal(od, 0.0)
+    total = od.sum()
+    if total <= 0:
+        # Single zone: no inter-zonal demand at all.
+        return np.zeros_like(od)
+    return od / total
+
+
+def day_demand_scale(day: dt.date, config: SimulationConfig) -> float:
+    """The corridor's day-type demand scaling, applied to OD volume.
+
+    Weekday 1.0, weekend ``weekend_demand_scale``, holiday
+    ``holiday_demand_scale`` — the same calendar modifiers the corridor
+    demand profile uses, so network and corridor demand agree on what a
+    holiday does.
+    """
+    if is_holiday(day, config.holidays):
+        return config.holiday_demand_scale
+    if is_weekend(day):
+        return config.weekend_demand_scale
+    return 1.0
+
+
+def _zone_representatives(graph: RoadGraph) -> dict[int, int]:
+    """Lowest member segment id per zone (the routing anchor)."""
+    representatives: dict[int, int] = {}
+    for segment, zone in enumerate(graph.zone_of):
+        if zone not in representatives:
+            representatives[zone] = segment
+    return representatives
+
+
+def assign_od_to_segments(
+    graph: RoadGraph,
+    od: np.ndarray,
+    *,
+    min_share: float = 1e-4,
+) -> np.ndarray:
+    """Route the OD matrix onto segments along free-flow shortest paths.
+
+    Every zone pair with at least ``min_share`` of total demand is
+    routed from the origin zone's representative segment to the
+    destination's; each segment on the path accumulates the pair's
+    share.  Unreachable pairs are skipped (a disconnected outer spur
+    should not crash demand assignment).  Returns the (num_segments,)
+    load vector (sums to ≈ the routed share, before any normalisation).
+    """
+    od = np.asarray(od, dtype=np.float64)
+    if od.shape != (graph.num_zones, graph.num_zones):
+        raise ValueError(
+            f"od must be ({graph.num_zones}, {graph.num_zones}), got {od.shape}"
+        )
+    loads = np.zeros(len(graph))
+    representatives = _zone_representatives(graph)
+    adjacency = graph.adjacency()
+    distances: dict[int, tuple[dict[int, float], dict[int, int]]] = {}
+    for origin in range(graph.num_zones):
+        if origin not in representatives:
+            continue
+        row = od[origin]
+        if not (row >= min_share).any():
+            continue
+        source = representatives[origin]
+        if source not in distances:
+            distances[source] = dijkstra(adjacency, source)
+        distance, parent = distances[source]
+        for destination in range(graph.num_zones):
+            share = float(row[destination])
+            if share < min_share or destination == origin:
+                continue
+            target = representatives.get(destination)
+            if target is None or target not in distance:
+                continue
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            loads[path] += share
+    return loads
+
+
+def segment_demand_weights(
+    graph: RoadGraph,
+    od: np.ndarray,
+    *,
+    spread: float = 0.35,
+    floor: float = 0.6,
+    ceiling: float = 1.6,
+) -> np.ndarray:
+    """Soften OD loads into mean-1.0 multiplicative demand weights.
+
+    ``w_s = 1 + spread * (load_s / mean_load - 1)`` clipped to
+    ``[floor, ceiling]``: heavily routed segments run hotter than the
+    shared diurnal profile, bypassed ones cooler, and the network-wide
+    mean stays anchored so corridor-calibrated congestion knees keep
+    their meaning.  With no routable demand every weight is 1.
+    """
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError("spread must be in [0, 1]")
+    loads = assign_od_to_segments(graph, od)
+    mean = loads.mean()
+    if mean <= 0:
+        return np.ones(len(graph))
+    weights = 1.0 + spread * (loads / mean - 1.0)
+    return np.clip(weights, floor, ceiling)

@@ -126,6 +126,7 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
         "psi_threshold": _NUM,
         "mean_kmh": _NUM,
         "reference_mean_kmh": _NUM,
+        "conditioned": _BOOL,
         "breaches": _INT,
         "triggered": _BOOL,
     },
@@ -150,6 +151,27 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
         "restored_fingerprint": _STR,
         "rolling_mae": _NUM,
         "guard_mae": _NUM,
+    },
+    # Network scenario engine (repro.network via the network experiment) -
+    "network_build": {
+        "segments": _INT,
+        "junctions": _INT,
+        "zones": _INT,
+        "bfs_ordered": _BOOL,
+    },
+    "network_simulate": {
+        "scenario": _STR,
+        "segments": _INT,
+        "steps": _INT,
+        "duration_s": _NUM,
+    },
+    "network_kpis": {
+        "scenario": _STR,
+        "vkt": _NUM,
+        "vht": _NUM,
+        "mean_speed_kmh": _NUM,
+        "congested_share": _NUM,
+        "spillback_onsets": _INT,
     },
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},

@@ -1,12 +1,19 @@
 """``repro.routing`` — the ITS application layer the paper motivates.
 
-Travel-time integration over the corridor and stay/divert route
-advisories scored against ground truth.
+Travel-time integration over the corridor or any explicit segment path,
+graph shortest paths (:mod:`repro.routing.paths`), and stay/divert
+route advisories scored against ground truth.
 """
 
 from .advisory import AdvisoryOutcome, Detour, evaluate_advisories
 from .fields import predicted_speed_field
-from .travel_time import corridor_travel_times, segment_times_minutes, traverse_time_minutes
+from .paths import dijkstra, shortest_path
+from .travel_time import (
+    corridor_travel_times,
+    segment_times_minutes,
+    traverse_path_minutes,
+    traverse_time_minutes,
+)
 
 __all__ = [
     "AdvisoryOutcome",
@@ -14,6 +21,9 @@ __all__ = [
     "evaluate_advisories",
     "predicted_speed_field",
     "corridor_travel_times",
+    "dijkstra",
     "segment_times_minutes",
+    "shortest_path",
+    "traverse_path_minutes",
     "traverse_time_minutes",
 ]

@@ -29,7 +29,43 @@ from .incidents import incident_masks, sample_incidents
 from .types import Corridor, SimulationConfig, TrafficSeries
 from .weather import WeatherModel
 
-__all__ = ["TrafficSimulator", "simulate"]
+__all__ = ["TrafficSimulator", "simulate", "demand_profile", "congestion_speed_factor"]
+
+
+def demand_profile(
+    cfg: SimulationConfig, hour_fraction: np.ndarray, weekday: bool, holiday: bool
+) -> np.ndarray:
+    """Deterministic demand fraction of capacity for given clock times.
+
+    Weekdays show two sharp rush-hour peaks; weekends and holidays a
+    single broad midday bulge at lower level.  Module-level so the
+    network engine (:mod:`repro.network.waves`) applies the identical
+    demand law; :meth:`TrafficSimulator.demand_profile` delegates here.
+    """
+    base = np.full_like(hour_fraction, cfg.base_demand)
+    # Overnight lull.
+    night = np.exp(-0.5 * ((hour_fraction - 3.5) / 2.0) ** 2)
+    base = base * (1.0 - 0.55 * night)
+    if weekday and not holiday:
+        for peak_hour in (cfg.morning_peak_hour, cfg.evening_peak_hour):
+            bump = np.exp(-0.5 * ((hour_fraction - peak_hour) / cfg.peak_width_hours) ** 2)
+            base = base + (cfg.peak_demand - cfg.base_demand) * bump
+    else:
+        scale = cfg.holiday_demand_scale if holiday else cfg.weekend_demand_scale
+        midday = np.exp(-0.5 * ((hour_fraction - 13.0) / 3.5) ** 2)
+        base = scale * (base + 0.42 * midday)
+    return np.clip(base, 0.02, 1.15)
+
+
+def congestion_speed_factor(cfg: SimulationConfig, demand: np.ndarray) -> np.ndarray:
+    """Map demand fraction to a multiplicative speed factor in (0, 1].
+
+    Below the knee traffic flows near free speed; above it the factor
+    collapses steeply (the source of abrupt rush-hour decelerations).
+    Shared by the corridor and network engines.
+    """
+    ratio = np.maximum(demand, 0.0) / cfg.congestion_knee
+    return 1.0 / (1.0 + ratio**cfg.congestion_gamma * 0.9)
 
 
 class TrafficSimulator:
@@ -46,33 +82,18 @@ class TrafficSimulator:
     def demand_profile(self, hour_fraction: np.ndarray, weekday: bool, holiday: bool) -> np.ndarray:
         """Deterministic demand fraction of capacity for given clock times.
 
-        Weekdays show two sharp rush-hour peaks; weekends and holidays a
-        single broad midday bulge at lower level.
+        Delegates to the module-level :func:`demand_profile` (shared
+        with the network engine).
         """
-        cfg = self.config
-        base = np.full_like(hour_fraction, cfg.base_demand)
-        # Overnight lull.
-        night = np.exp(-0.5 * ((hour_fraction - 3.5) / 2.0) ** 2)
-        base = base * (1.0 - 0.55 * night)
-        if weekday and not holiday:
-            for peak_hour in (cfg.morning_peak_hour, cfg.evening_peak_hour):
-                bump = np.exp(-0.5 * ((hour_fraction - peak_hour) / cfg.peak_width_hours) ** 2)
-                base = base + (cfg.peak_demand - cfg.base_demand) * bump
-        else:
-            scale = cfg.holiday_demand_scale if holiday else cfg.weekend_demand_scale
-            midday = np.exp(-0.5 * ((hour_fraction - 13.0) / 3.5) ** 2)
-            base = scale * (base + 0.42 * midday)
-        return np.clip(base, 0.02, 1.15)
+        return demand_profile(self.config, hour_fraction, weekday=weekday, holiday=holiday)
 
     def congestion_speed_factor(self, demand: np.ndarray) -> np.ndarray:
         """Map demand fraction to a multiplicative speed factor in (0, 1].
 
-        Below the knee traffic flows near free speed; above it the factor
-        collapses steeply (the source of abrupt rush-hour decelerations).
+        Delegates to the module-level :func:`congestion_speed_factor`
+        (shared with the network engine).
         """
-        cfg = self.config
-        ratio = np.maximum(demand, 0.0) / cfg.congestion_knee
-        return 1.0 / (1.0 + ratio**cfg.congestion_gamma * 0.9)
+        return congestion_speed_factor(self.config, demand)
 
     def _flash_congestion(
         self,

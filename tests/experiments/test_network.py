@@ -1,0 +1,63 @@
+"""Tests for the ``network`` experiment (registry id, reproducibility)."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import RunRecorder, use_recorder, validate_run_dir
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("network", preset="smoke")
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "network" in EXPERIMENTS
+        runner, description = EXPERIMENTS["network"]
+        assert "scenario" in description
+
+
+class TestResult:
+    def test_shape(self, result):
+        assert result.num_segments == 48
+        assert result.scenario_name == "stress"
+        assert result.baseline.vkt > 0
+        assert len(result.path) > 1
+        assert len(result.fingerprint) == 64
+
+    def test_stress_scenario_hurts(self, result):
+        assert result.deltas["total_delay_delta_vh"] > 0
+        assert result.deltas["mean_speed_delta_kmh"] < 0
+        assert result.path_travel_scenario_min >= result.path_travel_baseline_min
+
+    def test_bitwise_reproducible(self, result):
+        again = run_experiment("network", preset="smoke")
+        assert again.fingerprint == result.fingerprint
+        assert again.deltas == result.deltas
+
+    def test_seed_changes_fingerprint(self, result):
+        other = run_experiment("network", preset="smoke", seed=7)
+        assert other.fingerprint != result.fingerprint
+
+    def test_render(self, result):
+        text = result.render()
+        assert "baseline KPIs" in text
+        assert "stress" in text
+        assert "fingerprint" in text
+
+
+class TestObservability:
+    def test_emits_schema_valid_network_events(self, tmp_path):
+        with RunRecorder(tmp_path) as recorder, use_recorder(recorder):
+            run_experiment("network", preset="smoke")
+        assert validate_run_dir(tmp_path) == []
+        kinds = [
+            json.loads(line)["kind"]
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        assert kinds.count("network_build") == 1
+        assert kinds.count("network_simulate") == 2  # baseline + stress
+        assert kinds.count("network_kpis") == 2

@@ -174,6 +174,103 @@ class TestInputDriftMonitor:
         assert validate_run_dir(tmp_path) == []
 
 
+class TestConditionedInputDrift:
+    """Day-type-conditioned PSI: the mechanism behind psi_threshold=0.25."""
+
+    CONFIG = DriftConfig(input_window=512, check_every=64, hysteresis=2, mean_shift_kmh=10.0)
+
+    WEEKDAY = (1.0, 0.0, 0.0, 0.0)
+    OFFDAY = (0.0, 1.0, 0.0, 0.0)
+
+    def _labelled(self, speeds, day_type, start_step=0):
+        return [
+            Observation(
+                segment_id=0, step=start_step + i, speed_kmh=float(s), day_type=day_type
+            )
+            for i, s in enumerate(speeds)
+        ]
+
+    def _profile(self, rng):
+        """Training profile: slow commute weekdays, fast offdays."""
+        import dataclasses
+
+        weekday = rng.normal(55.0, 8.0, size=4000)
+        offday = rng.normal(90.0, 8.0, size=4000)
+        pooled = ReferenceProfile.from_speeds(np.concatenate([weekday, offday]))
+        return dataclasses.replace(
+            pooled,
+            day_bins=(
+                ("weekday", ReferenceProfile.from_speeds(weekday)),
+                ("offday", ReferenceProfile.from_speeds(offday)),
+            ),
+        )
+
+    def test_weekend_window_is_not_drift(self, rng):
+        """An all-offday window at offday speeds: a pooled monitor calls
+        this drift (weekly-seasonality false positive); the conditioned
+        monitor scores it against the offday bin and stays quiet."""
+        import dataclasses
+
+        profile = self._profile(rng)
+        offday_speeds = rng.normal(90.0, 8.0, size=1500)
+
+        pooled_monitor = InputDriftMonitor(
+            dataclasses.replace(profile, day_bins=()), self.CONFIG
+        )
+        assert pooled_monitor.observe(self._labelled(offday_speeds, self.OFFDAY)) is not None
+
+        conditioned_monitor = InputDriftMonitor(profile, self.CONFIG)
+        assert conditioned_monitor.observe(self._labelled(offday_speeds, self.OFFDAY)) is None
+
+    def test_real_shift_still_triggers_conditioned(self, rng):
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG)
+        monitor.observe(self._labelled(rng.normal(90.0, 8.0, size=512), self.OFFDAY))
+        congested = rng.normal(35.0, 8.0, size=800)
+        decision = monitor.observe(
+            self._labelled(congested, self.OFFDAY, start_step=512)
+        )
+        assert decision is not None
+        assert decision.stats["conditioned"] is True
+        assert decision.reason.startswith("conditioned")
+        assert decision.stats["psi"] > self.CONFIG.psi_threshold
+
+    def test_unlabelled_stream_falls_back_to_pooled(self, rng):
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG)
+        congested = [obs(0, i, s) for i, s in enumerate(rng.normal(20.0, 5.0, size=1500))]
+        decision = monitor.observe(congested)
+        assert decision is not None
+        assert decision.stats["conditioned"] is False
+
+    def test_small_subgroups_fall_back_to_pooled(self, rng):
+        """A window with too few samples of each day type cannot be
+        conditioned; the pooled statistic still guards it."""
+        config = DriftConfig(input_window=32, check_every=32, hysteresis=1)
+        monitor = InputDriftMonitor(self._profile(rng), config)
+        mixed = []
+        for i in range(32):
+            day = self.WEEKDAY if i % 2 == 0 else self.OFFDAY
+            mixed.extend(self._labelled([20.0 + rng.uniform(0, 2)], day, start_step=i))
+        decision = monitor.observe(mixed)
+        assert decision is not None
+        assert decision.stats["conditioned"] is False
+
+    def test_conditioned_flag_reaches_the_event_log(self, rng, tmp_path):
+        from repro.obs import RunRecorder, validate_run_dir
+
+        recorder = RunRecorder(tmp_path, manifest={})
+        monitor = InputDriftMonitor(self._profile(rng), self.CONFIG, recorder)
+        monitor.observe(self._labelled(rng.normal(90.0, 8.0, size=600), self.OFFDAY))
+        recorder.close()
+        assert validate_run_dir(tmp_path) == []
+        import json
+
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        assert events and all(e["conditioned"] is True for e in events)
+
+
 class TestDriftConfigValidation:
     def test_rejects_bad_windows(self):
         with pytest.raises(ValueError):

@@ -56,14 +56,60 @@ class TestPsi:
         assert np.isfinite(profile.psi(np.full(50, 200.0)))
 
 
+class TestDayBins:
+    def test_from_series_builds_weekday_and_offday_bins(self, tiny_series):
+        profile = ReferenceProfile.from_series(tiny_series)
+        labels = [label for label, _ in profile.day_bins]
+        # tiny_series spans 6 days from a Sunday: both day types present.
+        assert labels == ["weekday", "offday"]
+        weekday_mask = tiny_series.day_types[:, 0] > 0.5
+        weekday = profile.day_profile("weekday")
+        offday = profile.day_profile("offday")
+        assert weekday.count == int(weekday_mask.sum()) * tiny_series.num_segments
+        assert weekday.count + offday.count == profile.count
+        # Weekend traffic runs structurally faster than commute traffic.
+        assert offday.mean_kmh > weekday.mean_kmh
+
+    def test_day_profile_accessor(self, tiny_series):
+        profile = ReferenceProfile.from_series(tiny_series)
+        assert profile.day_profile("weekday") is not None
+        assert profile.day_profile("someday") is None
+        flat = ReferenceProfile.from_speeds(np.full(10, 60.0))
+        assert flat.day_bins == () and flat.day_profile("weekday") is None
+
+    def test_conditioned_psi_removes_seasonal_inflation(self, tiny_series):
+        """The property the 0.25 threshold rests on: an all-offday window
+        scores high against the pooled profile but low against its own
+        day bin."""
+        profile = ReferenceProfile.from_series(tiny_series)
+        offday_mask = tiny_series.day_types[:, 0] <= 0.5
+        offday_speeds = tiny_series.speeds[:, offday_mask].ravel()
+        pooled = profile.psi(offday_speeds)
+        conditioned = profile.day_profile("offday").psi(offday_speeds)
+        assert conditioned < pooled
+
+
 class TestPersistence:
     def test_state_roundtrip(self, rng):
         profile = ReferenceProfile.from_speeds(rng.normal(70.0, 9.0, size=1000))
         clone = ReferenceProfile.from_state(profile.state_dict())
         assert clone == profile
 
-    def test_state_dict_is_json_safe(self, rng):
+    def test_state_roundtrip_with_day_bins(self, tiny_series):
+        profile = ReferenceProfile.from_series(tiny_series)
+        assert profile.day_bins  # the interesting case
+        clone = ReferenceProfile.from_state(profile.state_dict())
+        assert clone == profile
+
+    def test_legacy_state_without_day_bins_loads(self, rng):
+        profile = ReferenceProfile.from_speeds(rng.normal(70.0, 9.0, size=100))
+        state = profile.state_dict()
+        assert "day_bins" not in state  # empty bins stay off the wire
+        clone = ReferenceProfile.from_state(state)
+        assert clone.day_bins == ()
+
+    def test_state_dict_is_json_safe(self, tiny_series):
         import json
 
-        profile = ReferenceProfile.from_speeds(rng.normal(70.0, 9.0, size=100))
-        json.dumps(profile.state_dict())  # must not raise
+        profile = ReferenceProfile.from_series(tiny_series)
+        json.dumps(profile.state_dict())  # must not raise, bins included

@@ -1,0 +1,22 @@
+"""Shared fixtures for the network-layer tests.
+
+The two canonical graphs (a 4x4 grid city and a ring-and-spokes town)
+are built once per session; graph construction is deterministic, so
+sharing them across tests cannot leak state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import RoadGraph, grid_city, ring_and_spokes
+
+
+@pytest.fixture(scope="session")
+def grid() -> RoadGraph:
+    return grid_city(4, 4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def ring() -> RoadGraph:
+    return ring_and_spokes(num_spokes=6, seed=0)

@@ -1,0 +1,108 @@
+"""Tests for :mod:`repro.network.demand` — zones, gravity OD, assignment."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    Zone,
+    assign_od_to_segments,
+    day_demand_scale,
+    gravity_od_matrix,
+    segment_demand_weights,
+    zones_from_graph,
+)
+from repro.traffic.types import SimulationConfig
+
+
+class TestZones:
+    def test_one_zone_per_graph_zone(self, grid):
+        zones = zones_from_graph(grid)
+        assert len(zones) == grid.num_zones
+        assert [z.zone_id for z in zones] == list(range(grid.num_zones))
+
+    def test_deterministic_by_seed(self, grid):
+        assert zones_from_graph(grid, seed=3) == zones_from_graph(grid, seed=3)
+        first = zones_from_graph(grid, seed=0)[0]
+        other = zones_from_graph(grid, seed=1)[0]
+        assert first.population != other.population
+
+    def test_centroids_are_member_means(self, grid):
+        zones = zones_from_graph(grid)
+        positions = grid.segment_positions()
+        members = positions[np.asarray(grid.zone_of) == 0]
+        assert zones[0].centroid == pytest.approx(tuple(members.mean(axis=0)))
+
+    def test_nonpositive_mass_rejected(self):
+        with pytest.raises(ValueError, match="masses must be positive"):
+            Zone(0, "z", (0.0, 0.0), population=0.0, attraction=10.0)
+
+
+class TestGravity:
+    def test_matrix_is_a_distribution(self, grid):
+        od = gravity_od_matrix(zones_from_graph(grid))
+        assert od.shape == (grid.num_zones, grid.num_zones)
+        assert od.sum() == pytest.approx(1.0)
+        assert (od >= 0).all()
+        assert np.diagonal(od) == pytest.approx(0.0)
+
+    def test_closer_pairs_attract_more(self):
+        # Equal masses at 1, 2 and 10 km: the near pair dominates.
+        zones = [
+            Zone(0, "a", (0.0, 0.0), 1000.0, 1000.0),
+            Zone(1, "b", (2.0, 0.0), 1000.0, 1000.0),
+            Zone(2, "c", (10.0, 0.0), 1000.0, 1000.0),
+        ]
+        od = gravity_od_matrix(zones)
+        assert od[0, 1] > od[0, 2]
+
+    def test_single_zone_has_no_interzonal_demand(self):
+        od = gravity_od_matrix([Zone(0, "only", (0.0, 0.0), 1.0, 1.0)])
+        assert od.shape == (1, 1) and od.sum() == 0.0
+
+    def test_bad_deterrence_rejected(self, grid):
+        with pytest.raises(ValueError, match="deterrence"):
+            gravity_od_matrix(zones_from_graph(grid), deterrence=0.0)
+
+
+class TestDayScale:
+    def test_matches_corridor_calendar(self):
+        config = SimulationConfig(num_days=1)
+        monday = dt.date(2026, 8, 3)
+        saturday = dt.date(2026, 8, 8)
+        assert day_demand_scale(monday, config) == 1.0
+        assert day_demand_scale(saturday, config) == config.weekend_demand_scale
+        for holiday in config.holidays:
+            assert day_demand_scale(holiday, config) == config.holiday_demand_scale
+
+
+class TestAssignment:
+    def test_loads_cover_shortest_paths(self, grid):
+        od = gravity_od_matrix(zones_from_graph(grid))
+        loads = assign_od_to_segments(grid, od)
+        assert loads.shape == (len(grid),)
+        assert (loads >= 0).all() and loads.sum() > 0
+
+    def test_shape_mismatch_rejected(self, grid):
+        with pytest.raises(ValueError, match="od must be"):
+            assign_od_to_segments(grid, np.ones((2, 2)))
+
+    def test_weights_mean_anchored_and_clipped(self, grid):
+        od = gravity_od_matrix(zones_from_graph(grid))
+        weights = segment_demand_weights(grid, od)
+        assert weights.shape == (len(grid),)
+        assert (weights >= 0.6).all() and (weights <= 1.6).all()
+        # Routed segments run hotter than bypassed ones.
+        assert weights.max() > weights.min()
+
+    def test_no_demand_gives_unit_weights(self, grid):
+        od = np.zeros((grid.num_zones, grid.num_zones))
+        np.testing.assert_array_equal(
+            segment_demand_weights(grid, od), np.ones(len(grid))
+        )
+
+    def test_bad_spread_rejected(self, grid):
+        od = gravity_od_matrix(zones_from_graph(grid))
+        with pytest.raises(ValueError, match="spread"):
+            segment_demand_weights(grid, od, spread=1.5)

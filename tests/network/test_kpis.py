@@ -1,0 +1,108 @@
+"""Tests for :mod:`repro.network.kpis` — VKT/VHT, regimes, bottlenecks."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    IncidentCascade,
+    Scenario,
+    compare_kpis,
+    compute_kpis,
+    invert_congestion_demand,
+    simulate_network,
+)
+from repro.traffic.simulator import congestion_speed_factor
+from repro.traffic.types import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(num_days=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline(grid, config):
+    return simulate_network(grid, config)
+
+
+@pytest.fixture(scope="module")
+def stressed(grid, config):
+    scenario = Scenario(
+        "jam",
+        (IncidentCascade(segment=grid.target_index, start_step=90, severity=0.3,
+                         duration_steps=30),),
+    )
+    return simulate_network(grid, config, scenario=scenario)
+
+
+class TestInversion:
+    def test_round_trips_the_congestion_law(self, config):
+        # Start above the ratio clip (ratios very close to 1 are floored
+        # by the 0.999 clip, deliberately).
+        demand = np.linspace(0.18, 1.1, 40)
+        ratio = congestion_speed_factor(config, demand)
+        recovered = invert_congestion_demand(config, ratio)
+        np.testing.assert_allclose(recovered, demand, rtol=1e-6)
+
+    def test_extreme_ratios_stay_finite(self, config):
+        recovered = invert_congestion_demand(config, np.array([0.0, 1.0]))
+        assert np.isfinite(recovered).all()
+        assert recovered[0] > recovered[1]  # slower -> more demand
+
+
+class TestComputeKpis:
+    def test_bundle_is_coherent(self, grid, baseline, config):
+        kpis = compute_kpis(grid, baseline, config)
+        assert kpis.vkt > 0 and kpis.vht > 0
+        assert kpis.vkt / kpis.vht == pytest.approx(
+            baseline.speeds.mean(), rel=0.5
+        )  # VKT/VHT is a flow-weighted mean speed
+        assert 0 <= kpis.free_flow_share <= 1 and 0 <= kpis.congested_share <= 1
+        assert kpis.mean_speed_kmh == pytest.approx(baseline.speeds.mean())
+        assert kpis.total_delay_vh >= 0
+        assert kpis.spillback_onsets >= 0
+
+    def test_regime_means_ordered(self, grid, baseline, config):
+        kpis = compute_kpis(grid, baseline, config)
+        if kpis.congested_share > 0 and kpis.free_flow_share > 0:
+            assert kpis.mean_speed_congested_kmh < kpis.mean_speed_free_kmh
+
+    def test_bottlenecks_ranked_descending_and_positive(self, grid, stressed, config):
+        kpis = compute_kpis(grid, stressed, config, top_k=3)
+        assert len(kpis.bottlenecks) <= 3
+        delays = [delay for _, delay in kpis.bottlenecks]
+        assert delays == sorted(delays, reverse=True)
+        assert all(delay > 0 for delay in delays)
+
+    def test_mismatched_series_rejected(self, grid, config):
+        from repro.network import grid_city
+
+        other = simulate_network(grid_city(3, 3, seed=0), SimulationConfig(num_days=1))
+        with pytest.raises(ValueError, match="segments but graph"):
+            compute_kpis(grid, other, config)
+
+    def test_render_mentions_every_headline(self, grid, baseline, config):
+        text = compute_kpis(grid, baseline, config).render()
+        for token in ("VKT", "VHT", "mean speed", "congested share", "spillback"):
+            assert token in text
+
+
+class TestCompare:
+    def test_incident_increases_delay_and_drops_speed(self, grid, baseline, stressed, config):
+        deltas = compare_kpis(
+            compute_kpis(grid, baseline, config), compute_kpis(grid, stressed, config)
+        )
+        assert set(deltas) == {
+            "vkt_delta",
+            "vht_delta",
+            "mean_speed_delta_kmh",
+            "congested_share_delta",
+            "total_delay_delta_vh",
+            "spillback_onsets_delta",
+        }
+        assert deltas["total_delay_delta_vh"] > 0
+        assert deltas["mean_speed_delta_kmh"] < 0
+
+    def test_self_comparison_is_zero(self, grid, baseline, config):
+        kpis = compute_kpis(grid, baseline, config)
+        assert all(value == 0 for value in compare_kpis(kpis, kpis).values())

@@ -1,0 +1,199 @@
+"""Tests for :mod:`repro.network.scenarios` — declarative configs -> schedules."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    EventPulse,
+    IncidentCascade,
+    ModifierSchedule,
+    Scenario,
+    WeatherFront,
+    compile_scenario,
+)
+
+STEPS = 96
+
+
+class TestElementValidation:
+    def test_incident_bounds(self):
+        with pytest.raises(ValueError, match="severity"):
+            IncidentCascade(segment=0, start_step=0, severity=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            IncidentCascade(segment=0, start_step=0, duration_steps=0)
+        with pytest.raises(ValueError, match="cascade_decay"):
+            IncidentCascade(segment=0, start_step=0, cascade_decay=0.0)
+
+    def test_pulse_bounds(self):
+        with pytest.raises(ValueError, match="duration"):
+            EventPulse(zone=0, start_step=0, duration_steps=0)
+        with pytest.raises(ValueError, match="demand_boost"):
+            EventPulse(zone=0, start_step=0, duration_steps=4, demand_boost=2.0)
+
+    def test_front_bounds(self):
+        with pytest.raises(ValueError, match="at least 2 steps"):
+            WeatherFront(start_step=0, duration_steps=1)
+        with pytest.raises(ValueError, match="non-zero vector"):
+            WeatherFront(start_step=0, duration_steps=8, direction=(0.0, 0.0))
+        with pytest.raises(ValueError, match="speed_drop"):
+            WeatherFront(start_step=0, duration_steps=8, speed_drop=1.0)
+
+    def test_scenario_needs_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Scenario("", ())
+
+
+class TestCompile:
+    def test_identity_schedule(self, grid):
+        schedule = compile_scenario(Scenario("empty", ()), grid, STEPS)
+        assert np.array_equal(schedule.speed_factor, np.ones((len(grid), STEPS)))
+        assert not schedule.demand_boost.any()
+        assert not schedule.event_flags.any()
+        assert not schedule.precipitation_extra.any()
+
+    def test_compilation_is_rng_free_deterministic(self, grid):
+        scenario = Scenario(
+            "mix",
+            (
+                IncidentCascade(segment=grid.target_index, start_step=10),
+                EventPulse(zone=0, start_step=30, duration_steps=16),
+                WeatherFront(start_step=50, duration_steps=24),
+            ),
+        )
+        first = compile_scenario(scenario, grid, STEPS)
+        second = compile_scenario(scenario, grid, STEPS)
+        for name in ("speed_factor", "demand_boost", "event_flags", "precipitation_extra"):
+            assert np.array_equal(getattr(first, name), getattr(second, name)), name
+
+    def test_unknown_element_rejected(self, grid):
+        scenario = Scenario.__new__(Scenario)
+        object.__setattr__(scenario, "name", "bad")
+        object.__setattr__(scenario, "elements", ("not-an-element",))
+        with pytest.raises(TypeError, match="unknown scenario element"):
+            compile_scenario(scenario, grid, STEPS)
+
+    def test_bad_total_steps(self, grid):
+        with pytest.raises(ValueError, match="total_steps"):
+            compile_scenario(Scenario("x", ()), grid, 0)
+
+
+class TestIncidentCascade:
+    def test_seed_segment_hit_then_recovery(self, grid):
+        incident = IncidentCascade(
+            segment=grid.target_index, start_step=10, severity=0.4,
+            duration_steps=6, recovery_steps=4, cascade_depth=0,
+        )
+        schedule = compile_scenario(Scenario("i", (incident,)), grid, STEPS)
+        factor = schedule.speed_factor[grid.target_index]
+        assert (factor[10:16] == 0.4).all()
+        # Linear recovery back to 1 after the active phase.
+        assert (np.diff(factor[15:20]) > 0).all()
+        assert factor[20:].min() == 1.0
+        assert (schedule.event_flags[grid.target_index, 10:16] == 1.0).all()
+        assert not schedule.event_flags[grid.target_index, 16:].any()
+
+    def test_cascade_spreads_upstream_delayed_and_damped(self, grid):
+        seed = grid.target_index
+        incident = IncidentCascade(
+            segment=seed, start_step=10, severity=0.4,
+            cascade_depth=1, cascade_delay_steps=5,
+        )
+        schedule = compile_scenario(Scenario("i", (incident,)), grid, STEPS)
+        ups = grid.upstream_of(seed)
+        assert ups
+        share = (1.0 - 0.4) * incident.cascade_decay / len(ups)
+        for up in ups:
+            factor = schedule.speed_factor[up]
+            assert (factor[:15] == 1.0).all()  # delayed by one wave
+            assert factor[15] == pytest.approx(1.0 - share)
+            # Secondary incidents are weaker than the seed.
+            assert factor.min() > schedule.speed_factor[seed].min()
+        # Untouched far-away segments stay clean: depth 1 reaches only ups.
+        touched = {seed, *ups}
+        untouched = next(s for s in range(len(grid)) if s not in touched)
+        assert (schedule.speed_factor[untouched] == 1.0).all()
+
+    def test_depth_zero_stays_local(self, grid):
+        incident = IncidentCascade(segment=grid.target_index, start_step=0, cascade_depth=0)
+        schedule = compile_scenario(Scenario("i", (incident,)), grid, STEPS)
+        hit = np.flatnonzero((schedule.speed_factor < 1.0).any(axis=1))
+        assert list(hit) == [grid.target_index]
+
+    def test_segment_out_of_range(self, grid):
+        incident = IncidentCascade(segment=len(grid), start_step=0)
+        with pytest.raises(ValueError, match="outside graph"):
+            compile_scenario(Scenario("i", (incident,)), grid, STEPS)
+
+
+class TestEventPulse:
+    def test_zone_members_get_full_boost_approaches_half(self, grid):
+        pulse = EventPulse(zone=0, start_step=20, duration_steps=16, demand_boost=0.3)
+        schedule = compile_scenario(Scenario("p", (pulse,)), grid, STEPS)
+        members = [s for s in range(len(grid)) if grid.zone_of[s] == 0]
+        approach = set()
+        for s in members:
+            approach.update(grid.neighbours(s))
+        approach -= set(members)
+        mid = 20 + 8  # flat top of the envelope
+        for s in members:
+            assert schedule.demand_boost[s, mid] == pytest.approx(0.3)
+        for s in approach:
+            assert schedule.demand_boost[s, mid] == pytest.approx(0.15)
+        # Ramps: boost at the first step is below the flat top.
+        assert 0 < schedule.demand_boost[members[0], 20] < 0.3
+        assert not schedule.demand_boost[:, :20].any()
+
+    def test_pulse_beyond_horizon_is_noop(self, grid):
+        pulse = EventPulse(zone=0, start_step=STEPS + 10, duration_steps=8)
+        schedule = compile_scenario(Scenario("p", (pulse,)), grid, STEPS)
+        assert not schedule.demand_boost.any()
+
+    def test_zone_out_of_range(self, grid):
+        pulse = EventPulse(zone=grid.num_zones, start_step=0, duration_steps=4)
+        with pytest.raises(ValueError, match="outside graph zones"):
+            compile_scenario(Scenario("p", (pulse,)), grid, STEPS)
+
+
+class TestWeatherFront:
+    def test_front_sweeps_in_direction_order(self, grid):
+        front = WeatherFront(
+            start_step=10, duration_steps=40, direction=(1.0, 0.0), width_km=2.0
+        )
+        schedule = compile_scenario(Scenario("w", (front,)), grid, STEPS)
+        projection = grid.segment_positions() @ np.array([1.0, 0.0])
+        west = int(np.argmin(projection))
+        east = int(np.argmax(projection))
+        # The band reaches the west side before the east side.
+        west_peak = int(np.argmin(schedule.speed_factor[west]))
+        east_peak = int(np.argmin(schedule.speed_factor[east]))
+        assert west_peak < east_peak
+        assert schedule.speed_factor.min() >= 1.0 - front.speed_drop - 1e-9
+
+    def test_precipitation_channel_fed_inside_window_only(self, grid):
+        front = WeatherFront(start_step=10, duration_steps=20, intensity_mm=0.5)
+        schedule = compile_scenario(Scenario("w", (front,)), grid, STEPS)
+        assert schedule.precipitation_extra.shape == (STEPS,)
+        assert (schedule.precipitation_extra[10:30] > 0).all()
+        assert not schedule.precipitation_extra[:10].any()
+        assert not schedule.precipitation_extra[30:].any()
+        assert schedule.precipitation_extra.max() <= 0.5
+
+
+class TestModifierSchedule:
+    def test_identity_shapes(self):
+        schedule = ModifierSchedule.identity(5, 7)
+        assert schedule.speed_factor.shape == (5, 7)
+        assert schedule.demand_boost.shape == (5, 7)
+        assert schedule.event_flags.shape == (5, 7)
+        assert schedule.precipitation_extra.shape == (7,)
+
+    def test_elements_compose_via_min_and_sum(self, grid):
+        one = IncidentCascade(segment=grid.target_index, start_step=10, cascade_depth=0)
+        two = WeatherFront(start_step=5, duration_steps=30)
+        combined = compile_scenario(Scenario("c", (one, two)), grid, STEPS)
+        solo_incident = compile_scenario(Scenario("a", (one,)), grid, STEPS)
+        solo_front = compile_scenario(Scenario("b", (two,)), grid, STEPS)
+        np.testing.assert_array_equal(
+            combined.speed_factor,
+            np.minimum(solo_incident.speed_factor, solo_front.speed_factor),
+        )

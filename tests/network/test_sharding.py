@@ -1,0 +1,76 @@
+"""Tests for :mod:`repro.network.sharding` — graph-aware shard cuts."""
+
+import pytest
+
+from repro.fleet.router import ShardMap
+from repro.network import crossing_edges, grid_city, partition_starts
+
+
+class TestPartitionStarts:
+    def test_valid_shardmap_inputs(self, grid):
+        for shards in (1, 2, 3, 4):
+            starts = partition_starts(grid, shards)
+            assert len(starts) == shards
+            assert starts[0] == 0
+            assert list(starts) == sorted(set(starts))
+            # The tuple is a drop-in ShardMap override.
+            shard_map = ShardMap(len(grid), shards, starts=starts)
+            assert shard_map.starts == starts
+
+    def test_never_worse_than_balanced(self, grid):
+        n = len(grid)
+        for shards in (2, 3, 4, 6):
+            graph_aware = crossing_edges(grid, partition_starts(grid, shards))
+            balanced = crossing_edges(grid, tuple((i * n) // shards for i in range(shards)))
+            assert graph_aware <= balanced
+
+    def test_improves_on_balanced_somewhere(self):
+        """On a larger grid at least one shard count strictly improves
+        (otherwise the optimisation is a no-op and the subsystem lies)."""
+        graph = grid_city(6, 6, seed=0)
+        n = len(graph)
+        improved = [
+            crossing_edges(graph, partition_starts(graph, k))
+            < crossing_edges(graph, tuple((i * n) // k for i in range(k)))
+            for k in (2, 3, 4, 6, 8)
+        ]
+        assert any(improved)
+
+    def test_window_zero_reproduces_balanced(self, grid):
+        n = len(grid)
+        for shards in (2, 4):
+            assert partition_starts(grid, shards, window=0) == tuple(
+                (i * n) // shards for i in range(shards)
+            )
+
+    def test_single_shard(self, grid):
+        assert partition_starts(grid, 1) == (0,)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError, match="positive"):
+            partition_starts(grid, 0)
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_starts(grid, len(grid) + 1)
+
+    def test_deterministic(self, grid):
+        assert partition_starts(grid, 4) == partition_starts(grid, 4)
+
+
+class TestCrossingEdges:
+    def test_one_shard_severs_nothing(self, grid):
+        assert crossing_edges(grid, (0,)) == 0
+
+    def test_counts_each_cut_edge_once(self):
+        graph = grid_city(3, 3, seed=0)
+        counts = []
+        for cut in range(1, len(graph)):
+            count = crossing_edges(graph, (0, cut))
+            manual = sum(
+                1
+                for seg in range(len(graph))
+                for other in graph.neighbours(seg)
+                if other > seg and (seg < cut) != (other < cut)
+            )
+            assert count == manual
+            counts.append(count)
+        assert max(counts) > 0

@@ -127,8 +127,24 @@ class TestValidateEvent:
                 psi_threshold=0.25,
                 mean_kmh=48.0,
                 reference_mean_kmh=71.0,
+                conditioned=True,
                 breaches=3,
                 triggered=True,
+            ),
+            "network_build": envelope(
+                "network_build", segments=48, junctions=16, zones=4, bfs_ordered=True
+            ),
+            "network_simulate": envelope(
+                "network_simulate", scenario="baseline", segments=48, steps=576, duration_s=0.8
+            ),
+            "network_kpis": envelope(
+                "network_kpis",
+                scenario="stress",
+                vkt=3.5e6,
+                vht=1.0e5,
+                mean_speed_kmh=50.7,
+                congested_share=0.066,
+                spillback_onsets=137,
             ),
             "mlops_trigger": envelope(
                 "mlops_trigger", monitor="error", reason="mae ratio 2.03", step=410, seed=7

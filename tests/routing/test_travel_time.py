@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.routing import corridor_travel_times, segment_times_minutes, traverse_time_minutes
+from repro.routing import (
+    corridor_travel_times,
+    segment_times_minutes,
+    traverse_path_minutes,
+    traverse_time_minutes,
+)
 from repro.traffic import Corridor
 
 
@@ -65,6 +70,58 @@ class TestTraverse:
     def test_bad_segment_range(self, corridor):
         with pytest.raises(ValueError):
             traverse_time_minutes(corridor, np.ones((5, 10)), 0, start_segment=3, end_segment=1)
+
+
+class TestTraversePath:
+    """The explicit-path general form and its corridor regression pin."""
+
+    def lengths(self, corridor):
+        return np.array([s.length_km for s in corridor.segments])
+
+    def test_corridor_reduces_to_contiguous_path(self, corridor):
+        """Regression pin: ``traverse_time_minutes`` must stay exactly the
+        contiguous-range special case of ``traverse_path_minutes``."""
+        rng = np.random.default_rng(4)
+        field = rng.uniform(20.0, 100.0, size=(5, 60))
+        for start_step in (0, 7, 40):
+            for lo, hi in ((0, 4), (1, 3), (2, 2)):
+                assert traverse_path_minutes(
+                    self.lengths(corridor), field, range(lo, hi + 1), start_step
+                ) == traverse_time_minutes(
+                    corridor, field, start_step, start_segment=lo, end_segment=hi
+                )
+
+    def test_arbitrary_path_order_and_revisits(self, corridor):
+        # A network route may visit rows in any order, even twice
+        # (a loop); each visit reads the speed at its arrival step.
+        field = np.full((5, 50), 60.0)
+        path = [3, 1, 4, 1]
+        expected = sum(self.lengths(corridor)[path]) / 60.0 * 60.0
+        assert traverse_path_minutes(
+            self.lengths(corridor), field, path, 0
+        ) == pytest.approx(expected)
+
+    def test_validation(self, corridor):
+        lengths = self.lengths(corridor)
+        field = np.ones((5, 10))
+        with pytest.raises(ValueError, match="at least one segment"):
+            traverse_path_minutes(lengths, field, [], 0)
+        with pytest.raises(ValueError, match="outside field"):
+            traverse_path_minutes(lengths, field, [5], 0)
+        with pytest.raises(ValueError, match="start_step"):
+            traverse_path_minutes(lengths, field, [0], 10)
+
+    def test_network_route_through_grid(self):
+        from repro.network import grid_city
+
+        graph = grid_city(3, 3, seed=0)
+        path = [0]
+        while len(path) < 5:
+            path.append(graph.downstream_of(path[-1])[0])
+        lengths = np.array([s.length_km for s in graph.segments])
+        field = np.full((len(graph), 30), 50.0)
+        expected = sum(lengths[path]) / 50.0 * 60.0
+        assert traverse_path_minutes(lengths, field, path, 0) == pytest.approx(expected)
 
 
 class TestCorridorTravelTimes:

@@ -40,6 +40,12 @@ serving path deployable without dragging the offline experiment harness
   but never the experiment harness or attack stack; and only
   ``repro.experiments`` and tools may import ``repro.mlops`` back — the
   serving path must work without the continual-learning loop
+* ``repro.network``  is an input source at the traffic layer's level:
+  it may import only ``repro.traffic`` / ``repro.routing`` /
+  ``repro.data`` / ``repro.obs`` (everything else is banned), and only
+  ``repro.experiments`` (plus tools and tests) may import it back — the
+  serving stack and the fleet consume its ``TrafficSeries`` output and
+  plain-data shard starts, never its types
 * ``repro.serving.telemetry`` is a deprecated shim (the real module is
   ``repro.obs.telemetry``): no in-repo module may import it
 
@@ -140,6 +146,22 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.attacks",
         "repro.nn",
         "repro.routing",
+        "repro.network",
+    ),
+    # The network engine generalises the traffic layer and feeds the
+    # routing layer; it must stay servable-output-only — no models, no
+    # serving, no experiment harness.
+    "repro.network": (
+        "repro.core",
+        "repro.nn",
+        "repro.serving",
+        "repro.experiments",
+        "repro.baselines",
+        "repro.attacks",
+        "repro.parallel",
+        "repro.fleet",
+        "repro.mlops",
+        "repro.metrics",
     ),
 }
 
@@ -187,6 +209,12 @@ RESTRICTED_IMPORTERS: dict[str, tuple[str, ...]] = {
     # PR 8): external importers get a DeprecationWarning, in-repo
     # importers get a CI failure.
     "repro.serving.telemetry": (),
+    # The scenario engine is an input *source*: only the experiment
+    # harness (and tools/tests outside src) may drive it.  The serving
+    # stack and the fleet consume its TrafficSeries output and its
+    # plain-data shard starts — never its types — so the engine can
+    # evolve without touching the deployable path.
+    "repro.network": ("repro.network", "repro.experiments"),
 }
 
 

@@ -12,4 +12,5 @@ PYTHONPATH=src python tools/compile_smoke.py
 PYTHONPATH=src python tools/parallel_smoke.py
 PYTHONPATH=src python tools/fleet_smoke.py
 PYTHONPATH=src python tools/mlops_smoke.py
+PYTHONPATH=src python tools/network_smoke.py
 PYTHONPATH=src python -m pytest -x -q "$@"
