@@ -143,6 +143,21 @@ class APOTS:
         return f"APOTS_{self.kind}" if self.adversarial else self.kind
 
     def _check_dataset(self, dataset: TrafficDataset) -> None:
+        # Graph-neighbourhood configs carry a row layout; when either side
+        # has one, alpha/m agreement is not enough — the whole geometry
+        # (including the layout's row map) must match.
+        graph_sided = hasattr(dataset.config, "layout") or hasattr(self.features, "layout")
+        if graph_sided:
+            if dataset.config != self.features:
+                raise ValueError(
+                    "dataset feature geometry does not match the model "
+                    f"(model {type(self.features).__name__} alpha={self.features.alpha} "
+                    f"m={self.features.m} rows={self.features.num_roads}, dataset "
+                    f"{type(dataset.config).__name__} alpha={dataset.config.alpha} "
+                    f"m={dataset.config.m} rows={dataset.config.num_roads}; layouts "
+                    f"must be identical)"
+                )
+            return
         if dataset.config.alpha != self.features.alpha or dataset.config.m != self.features.m:
             raise ValueError(
                 "dataset feature geometry does not match the model "

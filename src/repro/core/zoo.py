@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 
 from ..data.features import FactorMask, FeatureConfig, FeatureScalers
+from ..data.graph_features import GraphFeatureConfig, GraphWindowLayout
 from ..data.profile import ReferenceProfile
 from ..nn import load_state, save_state
 from .config import ModelSpec, PRESETS, ScalePreset
@@ -55,21 +56,47 @@ def model_fingerprint(model: APOTS) -> str:
     return digest.hexdigest()
 
 
-def _features_to_dict(features: FeatureConfig) -> dict:
-    return {
+def _features_to_dict(features) -> dict:
+    payload = {
         "alpha": features.alpha,
         "beta": features.beta,
         "m": features.m,
         "mask": dataclasses.asdict(features.mask),
     }
+    if isinstance(features, GraphFeatureConfig):
+        # The "graph" key marks a graph-neighbourhood geometry; its
+        # presence (not a format bump) selects the config class on load,
+        # so corridor checkpoints stay readable by older builds.
+        layout = features.layout
+        payload["graph"] = {
+            "num_segments": layout.num_segments,
+            "k": layout.k,
+            "target_row": layout.target_row,
+            "num_rows": layout.num_rows,
+            "rows": [list(row) for row in layout.rows],
+        }
+    return payload
 
 
-def _features_from_dict(payload: dict) -> FeatureConfig:
+def _features_from_dict(payload: dict):
+    mask = FactorMask(**payload["mask"])
+    graph = payload.get("graph")
+    if graph is not None:
+        layout = GraphWindowLayout(
+            num_segments=graph["num_segments"],
+            k=graph["k"],
+            target_row=graph["target_row"],
+            num_rows=graph["num_rows"],
+            rows=tuple(tuple(row) for row in graph["rows"]),
+        )
+        return GraphFeatureConfig(
+            layout=layout, alpha=payload["alpha"], beta=payload["beta"], mask=mask
+        )
     return FeatureConfig(
         alpha=payload["alpha"],
         beta=payload["beta"],
         m=payload["m"],
-        mask=FactorMask(**payload["mask"]),
+        mask=mask,
     )
 
 

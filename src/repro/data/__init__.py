@@ -9,6 +9,13 @@ from .features import (
     build_features,
     fit_scalers,
 )
+from .graph_features import (
+    GraphFeatureConfig,
+    GraphTrafficDataset,
+    GraphWindowFeatures,
+    GraphWindowLayout,
+    build_graph_features,
+)
 from .profile import PSI_EPSILON, SPEED_BIN_EDGES, ReferenceProfile
 from .scaling import LogStandardScaler, MinMaxScaler, StandardScaler, scaler_from_state
 from .split import SplitIndices, consecutive_runs, split_windows
@@ -24,6 +31,11 @@ __all__ = [
     "WindowFeatures",
     "build_features",
     "fit_scalers",
+    "GraphWindowLayout",
+    "GraphFeatureConfig",
+    "GraphWindowFeatures",
+    "build_graph_features",
+    "GraphTrafficDataset",
     "LogStandardScaler",
     "MinMaxScaler",
     "StandardScaler",

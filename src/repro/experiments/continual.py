@@ -10,7 +10,10 @@ simulator:
    their baselines), then switches to a **shifted** regime — the same
    corridor re-simulated with an earlier congestion knee and higher
    off-peak demand, i.e. persistently slower, more congested traffic
-   the champion never saw.
+   the champion never saw.  (With ``drift_source="scenario"`` the shift
+   is instead a corridor-wide :class:`IncidentCascade` compiled through
+   the :mod:`repro.network.scenarios` engine and overlaid on a
+   same-regime re-simulation.)
 3. The controller must *detect* the drift, *retrain* a challenger on
    its own ring-buffer history, *shadow-evaluate* it, and *hot-swap* —
    after which the post-shift rolling MAE should land within a pinned
@@ -42,6 +45,8 @@ from ..data.features import FeatureConfig
 from ..data.split import split_windows
 from ..metrics.errors import all_errors
 from ..mlops import ContinualController, ControllerConfig, DriftConfig, RetrainSpec
+from ..network.graph import from_corridor
+from ..network.scenarios import IncidentCascade, Scenario, compile_scenario
 from ..obs import current_recorder
 from ..serving import ForecastService, Observation
 from ..traffic.simulator import simulate
@@ -63,6 +68,41 @@ RECOVERY_MAE_SLACK_KMH = 1.0
 #: The injected regime shift: congestion collapses earlier and off-peak
 #: demand is higher — persistent slow traffic, not a transient incident.
 SHIFT_OVERRIDES = {"congestion_knee": 0.55, "base_demand": 0.45}
+
+
+def _scenario_shift(base_cfg: SimulationConfig, seed: int) -> TrafficSeries:
+    """Shifted stream built from a compiled :class:`IncidentCascade`.
+
+    Instead of re-simulating under different demand parameters
+    (``drift_source="regime"``), re-simulate the *same* regime and
+    overlay a corridor-wide incident cascade compiled through the
+    scenario engine: the cascade seeds at the downstream end and
+    propagates upstream with no decay and no delay, so every segment
+    sees a persistent ``severity`` speed multiplier (plus the incident
+    flag) from step 0 for the whole horizon.  On a corridor each
+    segment has exactly one upstream neighbour, so the per-branch
+    severity split never dilutes the wave.
+    """
+    raw = simulate(dataclasses.replace(base_cfg, seed=seed + 1))
+    graph = from_corridor(raw.corridor)
+    cascade = IncidentCascade(
+        segment=raw.num_segments - 1,
+        start_step=0,
+        severity=0.5,
+        duration_steps=raw.num_steps,
+        recovery_steps=1,
+        cascade_depth=raw.num_segments,
+        cascade_delay_steps=0,
+        cascade_decay=1.0,
+    )
+    schedule = compile_scenario(
+        Scenario(name="continual-drift", elements=(cascade,)), graph, raw.num_steps
+    )
+    return dataclasses.replace(
+        raw,
+        speeds=raw.speeds * schedule.speed_factor,
+        events=np.maximum(raw.events, schedule.event_flags),
+    )
 
 
 @dataclass
@@ -163,15 +203,30 @@ def _sabotage(champion_dir: Path, directory: Path, seed: int) -> Path:
     return directory
 
 
-def run(preset: str = "medium", seed: int = DEFAULT_SEED) -> ContinualResult:
-    """Run the continual-learning demo (see module docstring)."""
+def run(
+    preset: str = "medium", seed: int = DEFAULT_SEED, drift_source: str = "regime"
+) -> ContinualResult:
+    """Run the continual-learning demo (see module docstring).
+
+    ``drift_source`` selects how the post-calibration shift is built:
+    ``"regime"`` re-simulates under :data:`SHIFT_OVERRIDES` (persistent
+    demand change), ``"scenario"`` overlays a compiled corridor-wide
+    :class:`IncidentCascade` on a same-regime re-simulation.
+    """
     preset = resolve_preset(preset)
     recorder = current_recorder()
     config = FeatureConfig(beta=1)  # next-interval forecasting keeps the loop tight
 
     base_cfg = SimulationConfig(num_days=preset.num_days, seed=seed)
     base = simulate(base_cfg)
-    shifted = simulate(dataclasses.replace(base_cfg, seed=seed + 1, **SHIFT_OVERRIDES))
+    if drift_source == "regime":
+        shifted = simulate(dataclasses.replace(base_cfg, seed=seed + 1, **SHIFT_OVERRIDES))
+    elif drift_source == "scenario":
+        shifted = _scenario_shift(base_cfg, seed)
+    else:
+        raise ValueError(
+            f"unknown drift_source {drift_source!r}; have 'regime' and 'scenario'"
+        )
     steps_per_day = base.num_steps // base_cfg.num_days
 
     with tempfile.TemporaryDirectory(prefix="continual-") as tmp:

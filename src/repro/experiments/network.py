@@ -11,34 +11,56 @@ city:
 3. score both runs with the network KPIs and report the deltas;
 4. route the longest free-flow shortest path through the grid and
    compare its time-expanded travel time under baseline vs scenario
-   (:func:`repro.routing.traverse_path_minutes` on explicit paths).
+   (:func:`repro.routing.traverse_path_minutes` on explicit paths);
+5. **train graph-neighbourhood models** (supervised F and adversarial
+   APOTS_F) on the baseline stream's k-hop windows
+   (:class:`repro.data.GraphTrafficDataset`), then replay the stressed
+   stream through them and report per-regime errors and per-phase MAE
+   degradation — does the model see the cascade coming?
 
 Everything is seeded; ``fingerprint`` hashes both speed fields, and a
 test pins that two runs at the same preset/seed agree bitwise.  Emits
-``network_build`` / ``network_simulate`` / ``network_kpis`` events when
-an ambient recorder is installed.
+``network_build`` / ``network_simulate`` / ``network_kpis`` /
+``network_train`` / ``network_stress`` events when an ambient recorder
+is installed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.zoo import model_fingerprint
+from ..data.graph_features import GraphFeatureConfig, GraphTrafficDataset
+from ..data.split import SplitIndices
 from ..network.demand import gravity_od_matrix, segment_demand_weights, zones_from_graph
+from ..network.features import graph_window_layout
 from ..network.graph import RoadGraph, grid_city
 from ..network.kpis import NetworkKpis, compare_kpis, compute_kpis
 from ..network.scenarios import EventPulse, IncidentCascade, Scenario, WeatherFront
+from ..network.stress import degradation_table, phase_error_table, scenario_phases
 from ..network.waves import NetworkSimulator
 from ..obs import current_recorder
 from ..routing.paths import dijkstra
 from ..routing.travel_time import traverse_path_minutes
 from ..traffic.types import SimulationConfig, TrafficSeries
-from .scenario import DEFAULT_SEED, resolve_preset
+from .scenario import DEFAULT_SEED, EXPERIMENT_BETA, resolve_preset, train_model
 
-__all__ = ["NetworkResult", "build_city", "stress_scenario", "run"]
+__all__ = [
+    "NetworkResult",
+    "build_city",
+    "stress_scenario",
+    "train_targets",
+    "NEIGHBOURHOOD_HOPS",
+    "run",
+]
+
+#: k-hop radius of the graph training windows — the network analogue of
+#: the corridor's ``m = 2``.
+NEIGHBOURHOOD_HOPS = 2
 
 
 @dataclass
@@ -56,6 +78,14 @@ class NetworkResult:
     path_travel_baseline_min: float
     path_travel_scenario_min: float
     fingerprint: str
+    #: k-hop radius of the graph training windows.
+    k: int = NEIGHBOURHOOD_HOPS
+    #: Segments the graph models were trained to forecast.
+    targets: tuple[int, ...] = ()
+    #: Per model name: training fingerprint, per-regime errors on the
+    #: baseline and stressed streams, per-phase error tables and the
+    #: per-phase MAE degradation ratios.
+    training: dict[str, dict] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
@@ -80,6 +110,21 @@ class NetworkResult:
                 f"fingerprint {self.fingerprint[:16]}",
             ]
         )
+        if self.training:
+            lines.extend(
+                [
+                    "",
+                    f"graph-neighbourhood training (k={self.k}, "
+                    f"{len(self.targets)} targets)",
+                ]
+            )
+            for name, info in self.training.items():
+                lines.append(
+                    f"  {name:<10} fingerprint {info['fingerprint']} "
+                    f"baseline MAE {info['baseline_overall']['mae']:.2f} km/h"
+                )
+                for phase, ratio in info["degradation"].items():
+                    lines.append(f"    {phase:<8} stress/baseline MAE x{ratio:.2f}")
         return "\n".join(lines)
 
 
@@ -112,6 +157,104 @@ def stress_scenario(graph: RoadGraph, total_steps: int) -> Scenario:
             ),
         ),
     )
+
+
+def train_targets(graph: RoadGraph) -> tuple[int, ...]:
+    """The segments the graph models learn to forecast.
+
+    The city target plus three BFS-spread segments, so the stress table
+    mixes roads directly under the incident cascade with roads that only
+    see it arrive through their neighbourhood rows.
+    """
+    n = len(graph)
+    return tuple(sorted({graph.target_index, n // 6, n // 2, (5 * n) // 6}))
+
+
+def _all_test_split(num_windows: int) -> SplitIndices:
+    """Evaluation-only split: every window is a test window."""
+    empty = np.array([], dtype=np.int64)
+    return SplitIndices(train=empty, validation=empty, test=np.arange(num_windows))
+
+
+def _train_and_stress(
+    graph: RoadGraph,
+    baseline: TrafficSeries,
+    stressed: TrafficSeries,
+    scenario: Scenario,
+    preset,
+    seed: int,
+    recorder,
+) -> tuple[tuple[int, ...], dict[str, dict]]:
+    """Fit graph models on the baseline stream; score them under stress.
+
+    Both runs share every random draw (scenario compilation is rng-free),
+    so the per-phase error ratio isolates what the scenario itself does
+    to the forecast — "does the model see the cascade coming?".
+    """
+    targets = train_targets(graph)
+    config = GraphFeatureConfig(
+        layout=graph_window_layout(graph, NEIGHBOURHOOD_HOPS), beta=EXPERIMENT_BETA
+    )
+    train_ds = GraphTrafficDataset(baseline, config, targets, seed=seed)
+    scalers = train_ds.features.scalers
+    block = train_ds.features.num_windows // len(targets)
+    eval_split = _all_test_split(block)
+    eval_sets = {
+        name: GraphTrafficDataset(
+            series, config, targets, split=eval_split, seed=seed, scalers=scalers
+        )
+        for name, series in (("baseline", baseline), ("stress", stressed))
+    }
+    phases = scenario_phases(scenario, baseline.num_steps)
+
+    training: dict[str, dict] = {}
+    for kind, adversarial in (("F", False), ("F", True)):
+        started = time.perf_counter()
+        model = train_model(kind, train_ds, preset, adversarial=adversarial, seed=seed)
+        fingerprint = model_fingerprint(model)
+        if recorder is not None:
+            recorder.event(
+                "network_train",
+                model=model.name,
+                targets=len(targets),
+                windows=train_ds.features.num_windows,
+                k=NEIGHBOURHOOD_HOPS,
+                duration_s=time.perf_counter() - started,
+                fingerprint=fingerprint,
+            )
+        reports = {name: model.evaluate(ds) for name, ds in eval_sets.items()}
+        tables = {}
+        for name, ds in eval_sets.items():
+            indices = ds.subset("test")
+            tables[name] = phase_error_table(
+                phases,
+                ds.features.target_steps[indices],
+                model.predict(ds),
+                ds.features.targets_kmh[indices],
+            )
+        degradation = degradation_table(tables["baseline"], tables["stress"])
+        if recorder is not None:
+            for phase_name, ratio in degradation.items():
+                recorder.event(
+                    "network_stress",
+                    model=model.name,
+                    phase=phase_name,
+                    samples=tables["stress"][phase_name]["samples"],
+                    baseline_mae=tables["baseline"][phase_name]["mae"],
+                    stressed_mae=tables["stress"][phase_name]["mae"],
+                    degradation=ratio,
+                )
+        training[model.name] = {
+            "fingerprint": fingerprint,
+            "baseline_overall": reports["baseline"].overall,
+            "stress_overall": reports["stress"].overall,
+            "baseline_by_regime": reports["baseline"].by_regime,
+            "stress_by_regime": reports["stress"].by_regime,
+            "baseline_phases": tables["baseline"],
+            "stress_phases": tables["stress"],
+            "degradation": degradation,
+        }
+    return targets, training
 
 
 def _longest_shortest_path(graph: RoadGraph) -> tuple[int, ...]:
@@ -185,6 +328,10 @@ def run(preset: str = "medium", seed: int = DEFAULT_SEED) -> NetworkResult:
         runs["baseline"].speeds.tobytes() + runs[scenario.name].speeds.tobytes()
     ).hexdigest()
 
+    targets, training = _train_and_stress(
+        graph, runs["baseline"], runs[scenario.name], scenario, preset, seed, recorder
+    )
+
     return NetworkResult(
         num_segments=len(graph),
         num_junctions=len(graph.junctions),
@@ -197,4 +344,7 @@ def run(preset: str = "medium", seed: int = DEFAULT_SEED) -> NetworkResult:
         path_travel_baseline_min=_path_minutes(graph, runs["baseline"], path),
         path_travel_scenario_min=_path_minutes(graph, runs[scenario.name], path),
         fingerprint=fingerprint,
+        k=NEIGHBOURHOOD_HOPS,
+        targets=targets,
+        training=training,
     )

@@ -69,7 +69,8 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Renderable], str]] = {
     ),
     "network": (
         network.run,
-        "city-scale road-graph scenario engine: baseline vs stress KPIs",
+        "city-scale road-graph scenario engine: baseline vs stress KPIs "
+        "+ graph-neighbourhood training with per-phase stress degradation",
     ),
 }
 

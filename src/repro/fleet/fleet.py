@@ -143,6 +143,25 @@ class ForecastFleet:
         self.features = model.features
         self.num_segments = num_segments
         self.shard_map = ShardMap(num_segments, shards, starts=shard_starts)
+        # Graph-neighbourhood checkpoints carry a row layout (duck-typed;
+        # the fleet layer cannot import repro.data).  A corridor halo is a
+        # contiguous ±m range, but a k-hop halo straddles shard cuts
+        # arbitrarily, so we precompute each observation's covering shards
+        # from the layout: shard r needs segment s iff some segment t it
+        # owns reads row s — and since undirected k-hop distance is
+        # symmetric, that is exactly t ∈ valid_rows(s).
+        layout = getattr(self.features, "layout", None)
+        if layout is not None and layout.num_segments != num_segments:
+            raise ValueError(
+                f"checkpoint layout covers {layout.num_segments} segments, "
+                f"fleet has {num_segments}"
+            )
+        self._covering_shards: list[tuple[int, ...]] | None = None
+        if layout is not None and shards > 1:
+            self._covering_shards = [
+                tuple(sorted({self.shard_map.shard_of(t) for t in layout.valid_rows(seg)}))
+                for seg in range(num_segments)
+            ]
         self.admission = AdmissionController(shards, max_queue_per_shard)
         self.telemetry = Telemetry()
         self._recorder = recorder
@@ -281,6 +300,12 @@ class ForecastFleet:
                     )
             latest[seg] = obs.step
 
+    def _shards_for(self, segment_id: int):
+        """Shards whose replicas need this segment's observations."""
+        if self._covering_shards is not None:
+            return self._covering_shards[segment_id]
+        return self.shard_map.shards_for_observation(segment_id, self.features.m)
+
     def ingest(self, observation: Observation) -> None:
         self.ingest_many([observation])
 
@@ -291,10 +316,9 @@ class ForecastFleet:
         if not observations:
             return 0
         self._validate_stream(observations)
-        m = self.features.m
         per_shard: dict[int, list[Observation]] = {}
         for obs in observations:
-            for shard in self.shard_map.shards_for_observation(obs.segment_id, m):
+            for shard in self._shards_for(obs.segment_id):
                 per_shard.setdefault(shard, []).append(obs)
         # Parent bookkeeping first: shed answers must stay fresh even if
         # a replica dies inside this very scatter.
@@ -319,9 +343,8 @@ class ForecastFleet:
         if self._local is not None:
             self._local.store.reset_segment(segment_id)
         else:
-            shards = self.shard_map.shards_for_observation(segment_id, self.features.m)
             self._scatter_call(
-                {shard: ("reset_segment", (segment_id,)) for shard in shards}
+                {shard: ("reset_segment", (segment_id,)) for shard in self._shards_for(segment_id)}
             )
 
     # ------------------------------------------------------------------

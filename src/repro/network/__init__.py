@@ -22,6 +22,7 @@ from .demand import (
     segment_demand_weights,
     zones_from_graph,
 )
+from .features import graph_feature_config, graph_window_layout
 from .graph import Junction, RoadGraph, from_corridor, grid_city, ring_and_spokes
 from .kpis import NetworkKpis, compare_kpis, compute_kpis, invert_congestion_demand
 from .scenarios import (
@@ -33,6 +34,7 @@ from .scenarios import (
     compile_scenario,
 )
 from .sharding import crossing_edges, partition_starts
+from .stress import StressPhase, degradation_table, phase_error_table, scenario_phases
 from .waves import NetworkSimulator, simulate_network
 
 __all__ = [
@@ -61,4 +63,10 @@ __all__ = [
     "compare_kpis",
     "crossing_edges",
     "partition_starts",
+    "graph_window_layout",
+    "graph_feature_config",
+    "StressPhase",
+    "scenario_phases",
+    "phase_error_table",
+    "degradation_table",
 ]

@@ -1,0 +1,149 @@
+"""Scenario-stress evaluation: per-phase forecast degradation.
+
+"Does the model see the cascade coming?"  A stress run replays the same
+windows through a model under a scenario-modified speed field and
+compares forecast error against the baseline run, **per scenario
+phase**: the quiet lead-in before any element fires, the incident
+cascade (active + recovery + staggered secondary waves), the demand
+pulse and the weather front.  A model that anticipates the cascade from
+its neighbours' speed rows degrades little in the ``cascade`` phase; a
+model that only extrapolates the target's own history degrades hard.
+
+Numpy-only by design: :mod:`repro.network` sits below the metrics layer
+in the import DAG, so the error formulas (MAE / RMSE / MAPE, matching
+:mod:`repro.metrics` definitions) are inlined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scenarios import EventPulse, IncidentCascade, Scenario, WeatherFront
+
+__all__ = ["StressPhase", "scenario_phases", "phase_error_table", "degradation_table"]
+
+
+@dataclass(frozen=True)
+class StressPhase:
+    """A named half-open step interval ``[start_step, end_step)``."""
+
+    name: str
+    start_step: int
+    end_step: int
+
+    def __post_init__(self):
+        if self.end_step <= self.start_step:
+            raise ValueError(f"phase {self.name!r} is empty")
+
+    def covers(self, steps: np.ndarray) -> np.ndarray:
+        """Boolean mask over absolute step indices."""
+        return (steps >= self.start_step) & (steps < self.end_step)
+
+
+def _element_phase(element, total_steps: int) -> StressPhase | None:
+    if isinstance(element, IncidentCascade):
+        # Last secondary wave starts depth * delay after the seed and
+        # runs the full active + recovery profile.
+        end = (
+            element.start_step
+            + element.cascade_depth * element.cascade_delay_steps
+            + element.duration_steps
+            + element.recovery_steps
+        )
+        name = "cascade"
+    elif isinstance(element, EventPulse):
+        end = element.start_step + element.duration_steps
+        name = "pulse"
+    elif isinstance(element, WeatherFront):
+        end = element.start_step + element.duration_steps
+        name = "front"
+    else:
+        raise TypeError(f"unknown scenario element {type(element).__name__}")
+    start = min(element.start_step, total_steps)
+    end = min(end, total_steps)
+    if end <= start:
+        return None
+    return StressPhase(name=name, start_step=start, end_step=end)
+
+
+def scenario_phases(scenario: Scenario, total_steps: int) -> list[StressPhase]:
+    """The analytic phase windows of a scenario, plus the quiet lead-in.
+
+    One phase per element (``cascade`` / ``pulse`` / ``front``), clipped
+    to ``total_steps``; a ``pre`` phase covers the steps before the
+    earliest element.  Phases may overlap — a step under both the pulse
+    and the front counts in both rows of the table, which is what you
+    want when attributing degradation to causes.
+    """
+    phases = [p for p in (_element_phase(e, total_steps) for e in scenario.elements) if p]
+    if not phases:
+        return [StressPhase("pre", 0, total_steps)]
+    first = min(p.start_step for p in phases)
+    out = []
+    if first > 0:
+        out.append(StressPhase("pre", 0, first))
+    out.extend(sorted(phases, key=lambda p: (p.start_step, p.name)))
+    return out
+
+
+def _errors(predictions_kmh: np.ndarray, targets_kmh: np.ndarray) -> dict[str, float]:
+    diff = predictions_kmh - targets_kmh
+    mae = float(np.mean(np.abs(diff)))
+    rmse = float(np.sqrt(np.mean(diff**2)))
+    nonzero = np.abs(targets_kmh) > 1e-9
+    mape = (
+        float(np.mean(np.abs(diff[nonzero] / targets_kmh[nonzero])) * 100.0)
+        if nonzero.any()
+        else float("nan")
+    )
+    return {"mae": mae, "rmse": rmse, "mape": mape}
+
+
+def phase_error_table(
+    phases: list[StressPhase],
+    target_steps: np.ndarray,
+    predictions_kmh: np.ndarray,
+    targets_kmh: np.ndarray,
+) -> dict[str, dict[str, float]]:
+    """Per-phase forecast errors, keyed by phase name.
+
+    ``target_steps`` are the absolute step indices of each prediction's
+    target (``WindowFeatures.target_steps``); a window belongs to every
+    phase containing its *target* step — the question is whether the
+    forecast of that step was good, not where the inputs came from.
+    Empty phases report ``samples == 0`` and NaN errors.
+    """
+    target_steps = np.asarray(target_steps)
+    table: dict[str, dict[str, float]] = {}
+    for phase in phases:
+        mask = phase.covers(target_steps)
+        row: dict[str, float] = {"samples": int(mask.sum())}
+        if row["samples"] == 0:
+            row.update({"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")})
+        else:
+            row.update(_errors(predictions_kmh[mask], targets_kmh[mask]))
+        table[phase.name] = row
+    return table
+
+
+def degradation_table(
+    baseline: dict[str, dict[str, float]],
+    stressed: dict[str, dict[str, float]],
+) -> dict[str, float]:
+    """Per-phase MAE degradation: ``stressed / baseline`` ratio.
+
+    The headline stress metric: 1.0 means the scenario did not hurt the
+    forecast in that phase at all; NaN where either side has no samples.
+    """
+    out: dict[str, float] = {}
+    for name, stressed_row in stressed.items():
+        base_row = baseline.get(name)
+        if base_row is None or base_row["samples"] == 0 or stressed_row["samples"] == 0:
+            out[name] = float("nan")
+        elif base_row["mae"] <= 1e-12:
+            out[name] = float("inf") if stressed_row["mae"] > 1e-12 else 1.0
+        else:
+            out[name] = float(stressed_row["mae"] / base_row["mae"])
+    return out

@@ -173,6 +173,24 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
         "congested_share": _NUM,
         "spillback_onsets": _INT,
     },
+    # Graph-neighbourhood training on network streams --------------------
+    "network_train": {
+        "model": _STR,
+        "targets": _INT,
+        "windows": _INT,
+        "k": _INT,
+        "duration_s": _NUM,
+        "fingerprint": _STR,
+    },
+    # Per-phase scenario-stress forecast degradation ----------------------
+    "network_stress": {
+        "model": _STR,
+        "phase": _STR,
+        "samples": _INT,
+        "baseline_mae": _NUM,
+        "stressed_mae": _NUM,
+        "degradation": _NUM,
+    },
     # Adversarial robustness (repro.attacks) -----------------------------
     "attack_step": {"attack": _STR, "epsilon": _NUM, "step": _INT, "loss": _NUM},
     # Input-space adversarial training (repro.core.adversarial_training) -

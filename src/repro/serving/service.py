@@ -221,16 +221,19 @@ class ForecastService:
         """Whether the gate quarantines this segment's *window*.
 
         The model's window reads the segment and its ``m`` neighbours on
-        each side, so a poisoned neighbour taints the forecast just as
-        much as a poisoned target.
+        each side — or, under a graph layout, its k-hop neighbourhood —
+        so a poisoned neighbour taints the forecast just as much as a
+        poisoned target.
         """
         if self.gate is None:
             return False
-        m = self._model.features.m
-        return any(
-            self.gate.is_quarantined(neighbour)
-            for neighbour in range(segment_id - m, segment_id + m + 1)
-        )
+        layout = getattr(self._model.features, "layout", None)
+        if layout is not None:
+            neighbourhood = layout.valid_rows(segment_id)
+        else:
+            m = self._model.features.m
+            neighbourhood = range(segment_id - m, segment_id + m + 1)
+        return any(self.gate.is_quarantined(neighbour) for neighbour in neighbourhood)
 
     def _gate_naive(self, segment_id: int, horizon: int) -> Forecast:
         """Degrade a quarantined segment, persisting the last trusted speed.

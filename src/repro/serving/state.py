@@ -148,6 +148,13 @@ class SegmentStateStore:
         self.num_segments = num_segments
         self.features = features
         self.scalers = scalers
+        # Graph-neighbourhood configs carry a row layout; corridor configs
+        # don't (duck-typed so repro.data.graph_features stays optional).
+        self._layout = getattr(features, "layout", None)
+        if self._layout is not None and self._layout.num_segments != num_segments:
+            raise ValueError(
+                f"layout covers {self._layout.num_segments} segments, store has {num_segments}"
+            )
         self.interval_minutes = interval_minutes
         self.steps_per_day = (24 * 60) // interval_minutes
         capacity = features.alpha if capacity is None else capacity
@@ -267,13 +274,20 @@ class SegmentStateStore:
     def _readiness_error(self, segment_id: int) -> IncompleteWindowError | None:
         """Why this segment's window cannot be assembled right now."""
         alpha, m = self.features.alpha, self.features.m
-        lo, hi = segment_id - m, segment_id + m
-        if lo < 0 or hi >= self.num_segments:
-            return IncompleteWindowError(
-                f"segment {segment_id} needs {m} neighbours on each side "
-                f"(corridor 0..{self.num_segments - 1}); edge segments are "
-                f"served by the naive fallback"
-            )
+        if self._layout is None:
+            lo, hi = segment_id - m, segment_id + m
+            if lo < 0 or hi >= self.num_segments:
+                return IncompleteWindowError(
+                    f"segment {segment_id} needs {m} neighbours on each side "
+                    f"(corridor 0..{self.num_segments - 1}); edge segments are "
+                    f"served by the naive fallback"
+                )
+            neighbour_rows = None
+        else:
+            # Graph layout: padding rows absorb short neighbourhoods, so
+            # there is no edge condition — only the real rows must be fresh.
+            row = self._layout.rows_array[segment_id]
+            neighbour_rows = row[row >= 0]
         end = int(self._latest[segment_id])
         if end < 0 or self._count[segment_id] < alpha:
             have = max(int(self._count[segment_id]), 0) if end >= 0 else 0
@@ -284,8 +298,12 @@ class SegmentStateStore:
         # must have reached `end` and its contiguous run must span back far
         # enough (a neighbour running ahead is fine while the ring holds on
         # to the older slots).
-        latest = self._latest[lo : hi + 1]
-        count = self._count[lo : hi + 1]
+        if neighbour_rows is None:
+            latest = self._latest[lo : hi + 1]
+            count = self._count[lo : hi + 1]
+        else:
+            latest = self._latest[neighbour_rows]
+            count = self._count[neighbour_rows]
         if not ((latest >= end) & (count >= latest - end + alpha)).all():
             return IncompleteWindowError(
                 f"a neighbour of segment {segment_id} lags it "
@@ -341,13 +359,20 @@ class SegmentStateStore:
         ends = self._latest[segments]  # (B,)
         steps = ends[:, None] + np.arange(-(alpha - 1), 1)[None, :]  # (B, alpha)
         idx = steps % self._capacity
-        rows = segments[:, None] + np.arange(-m, m + 1)[None, :]  # (B, 2m+1)
+        if self._layout is None:
+            rows = segments[:, None] + np.arange(-m, m + 1)[None, :]  # (B, 2m+1)
+            gather_rows = rows
+        else:
+            rows = self._layout.rows_array[segments]  # (B, num_rows), -1 = padding
+            gather_rows = np.maximum(rows, 0)  # padding rows read row 0, zeroed below
 
-        adj_kmh = self._speed_data[rows[:, :, None], idx[:, None, :]]  # (B, 2m+1, alpha)
+        adj_kmh = self._speed_data[gather_rows[:, :, None], idx[:, None, :]]  # (B, R, alpha)
         event = self._event_data[segments[:, None], idx]  # (B, alpha)
         context = self._context.data[idx]  # (B, alpha, 6)
 
         adj = self.scalers.speed.transform(adj_kmh)
+        if self._layout is not None:
+            adj[rows < 0] = 0.0  # offline rule: zero padding after scaling
         temp = self.scalers.temperature.transform(context[:, :, _CTX_TEMP])
         precip = self.scalers.precipitation.transform(context[:, :, _CTX_PRECIP])
         hour = self._hours(steps) / 23.0

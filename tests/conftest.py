@@ -27,6 +27,28 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _global_rng_guard():
+    """Seed audit: no test may mutate numpy's *global* RNG.
+
+    Everything in this codebase draws randomness from explicit
+    ``np.random.default_rng(seed)`` generators; a test (or library code
+    it exercises) calling ``np.random.seed`` / ``np.random.shuffle`` /
+    module-level draws would couple test outcomes to execution order.
+    """
+    before = np.random.get_state()
+    yield
+    after = np.random.get_state()
+    assert (
+        before[0] == after[0]
+        and np.array_equal(before[1], after[1])
+        and before[2:] == after[2:]
+    ), (
+        "test mutated the global numpy RNG state; draw from a local "
+        "np.random.default_rng(seed) generator instead"
+    )
+
+
 @pytest.fixture(scope="session")
 def tiny_series():
     """Six days of simulated traffic (shared, treat as read-only)."""

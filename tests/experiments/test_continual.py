@@ -70,3 +70,83 @@ def test_registered():
     from repro.experiments.registry import EXPERIMENTS
 
     assert "continual" in EXPERIMENTS
+
+
+def test_unknown_drift_source_rejected(micro_preset):
+    with pytest.raises(ValueError, match="drift_source"):
+        continual.run(preset=micro_preset, seed=7, drift_source="weather")
+
+
+@pytest.fixture(scope="module")
+def scenario_run_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("continual-scenario-run")
+
+
+@pytest.fixture(scope="module")
+def scenario_result(micro_preset, scenario_run_dir):
+    recorder = RunRecorder(
+        scenario_run_dir, manifest={"experiment": "continual-scenario"}
+    )
+    with use_recorder(recorder):
+        outcome = continual.run(preset=micro_preset, seed=7, drift_source="scenario")
+    recorder.close()
+    return outcome
+
+
+class TestScenarioDriftSource:
+    """The loop driven by a compiled IncidentCascade instead of a regime
+    re-parameterisation: same detection/retrain/swap machinery, different
+    injected world — with the causal order pinned on the event log."""
+
+    def test_cascade_drift_is_detected_and_handled(self, scenario_result):
+        assert scenario_result.triggered
+        assert scenario_result.swapped
+        assert scenario_result.rolled_back
+        assert (
+            scenario_result.adapted_fingerprint
+            != scenario_result.champion_fingerprint
+        )
+
+    def test_event_log_is_schema_valid(self, scenario_result, scenario_run_dir):
+        assert validate_run_dir(scenario_run_dir) == []
+
+    def test_causal_event_order(self, scenario_result, scenario_run_dir, micro_preset):
+        import json
+
+        from repro.traffic.types import SimulationConfig
+
+        events = [
+            json.loads(line)
+            for line in (scenario_run_dir / "events.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event["kind"], []).append(event)
+
+        # The cascade is injected when the stream switches from the base
+        # series to the scenario-modified one — no trigger may predate it.
+        injection_step = SimulationConfig(num_days=micro_preset.num_days).total_steps
+        first_trigger = by_kind["mlops_trigger"][0]
+        assert first_trigger["step"] >= injection_step
+
+        # Pipeline causality in the recorder's total order:
+        # trigger -> retrain start -> retrain end -> shadow -> swap.
+        chain = [
+            by_kind["mlops_trigger"][0]["seq"],
+            by_kind["mlops_retrain_start"][0]["seq"],
+            by_kind["mlops_retrain_end"][0]["seq"],
+            by_kind["mlops_shadow"][0]["seq"],
+            by_kind["mlops_swap"][0]["seq"],
+        ]
+        assert chain == sorted(chain) and len(set(chain)) == len(chain)
+
+        # The rollback drill happens strictly after the adaptation swap.
+        assert by_kind["mlops_rollback"][0]["seq"] > by_kind["mlops_swap"][0]["seq"]
+
+    def test_differs_from_regime_drift(self, scenario_result, result):
+        # Different injected worlds must adapt to different champions.
+        assert (
+            scenario_result.adapted_fingerprint != result.adapted_fingerprint
+        )

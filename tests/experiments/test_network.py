@@ -49,6 +49,44 @@ class TestResult:
         assert "fingerprint" in text
 
 
+class TestGraphTraining:
+    def test_trains_both_model_families(self, result):
+        assert set(result.training) == {"F", "APOTS_F"}
+        assert result.k == 2
+        assert len(result.targets) == 4
+        assert all(0 <= t < result.num_segments for t in result.targets)
+
+    def test_fingerprints_are_pinned_format(self, result):
+        prints = [entry["fingerprint"] for entry in result.training.values()]
+        assert all(len(p) == 24 for p in prints)  # blake2b-12 hex
+        assert len(set(prints)) == 2  # adversarial training changed the weights
+
+    def test_reports_per_phase_degradation(self, result):
+        for entry in result.training.values():
+            degradation = entry["degradation"]
+            assert set(degradation) == {"pre", "cascade", "pulse", "front"}
+            # The pre phase precedes every scenario element: baseline and
+            # stressed streams are near-identical there, so the ratio is
+            # ~1 (causal attribution — degradation comes from the
+            # scenario, not from the re-simulation).
+            assert degradation["pre"] == pytest.approx(1.0, abs=0.01)
+            assert entry["stress_phases"]["cascade"]["samples"] > 0
+            assert entry["baseline_overall"]["mae"] > 0
+
+    def test_stress_degrades_the_forecast(self, result):
+        for entry in result.training.values():
+            stressed = [
+                entry["degradation"][phase] for phase in ("cascade", "pulse", "front")
+            ]
+            assert max(stressed) > 1.0
+
+    def test_render_includes_training_table(self, result):
+        text = result.render()
+        assert "graph-neighbourhood training" in text
+        assert "APOTS_F" in text
+        assert "cascade" in text
+
+
 class TestObservability:
     def test_emits_schema_valid_network_events(self, tmp_path):
         with RunRecorder(tmp_path) as recorder, use_recorder(recorder):
@@ -61,3 +99,21 @@ class TestObservability:
         assert kinds.count("network_build") == 1
         assert kinds.count("network_simulate") == 2  # baseline + stress
         assert kinds.count("network_kpis") == 2
+        assert kinds.count("network_train") == 2  # F and APOTS_F
+        assert kinds.count("network_stress") == 8  # 2 models x 4 phases
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        stress = [e for e in events if e["kind"] == "network_stress"]
+        assert {e["model"] for e in stress} == {"F", "APOTS_F"}
+        assert {e["phase"] for e in stress} == {"pre", "cascade", "pulse", "front"}
+        # Causal order: each model's stress rows follow its own training
+        # event (seq is the recorder's total order).
+        for model in ("F", "APOTS_F"):
+            trained = next(
+                e["seq"]
+                for e in events
+                if e["kind"] == "network_train" and e["model"] == model
+            )
+            assert all(e["seq"] > trained for e in stress if e["model"] == model)

@@ -12,8 +12,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro import APOTS
+from repro.core import save_model
+from repro.data.graph_features import GraphFeatureConfig, GraphTrafficDataset
 from repro.fleet import ForecastFleet
-from repro.network import grid_city, partition_starts, simulate_network
+from repro.network import (
+    graph_window_layout,
+    grid_city,
+    partition_starts,
+    simulate_network,
+)
 from repro.traffic.types import SimulationConfig
 
 from tests.fleet.conftest import replay_ticks
@@ -103,3 +111,69 @@ class TestCityScaleParity:
             assert ranges[0][0] == 0 and ranges[-1][1] == len(city)
             for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
                 assert hi == lo
+
+
+# ---------------------------------------------------------------------------
+# Graph-window fleets: the same parity gate with k-hop neighbourhood
+# features, whose halo is *non-contiguous* — the covering shard set of a
+# segment near a cut is computed from the layout, not from ±m arithmetic.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def graph_checkpoint(tmp_path_factory, city, city_series, micro_preset) -> str:
+    """A zoo checkpoint whose features carry the city's k=2 graph layout."""
+    config = GraphFeatureConfig(layout=graph_window_layout(city, 2))
+    dataset = GraphTrafficDataset(city_series, config, seed=0)
+    model = APOTS(predictor="F", adversarial=False, features=config,
+                  preset=micro_preset, seed=0)
+    model.fit(dataset)
+    directory = tmp_path_factory.mktemp("graph-checkpoint")
+    save_model(model, directory)
+    return str(directory)
+
+
+@pytest.fixture(scope="module")
+def graph_fleets(graph_checkpoint, city, city_series):
+    fleets = [
+        ForecastFleet(
+            graph_checkpoint,
+            len(city),
+            shards=shards,
+            shard_starts=partition_starts(city, shards),
+        )
+        for shards in SHARD_COUNTS
+    ]
+    for fleet in fleets:
+        replay_ticks(fleet, city_series, range(WARM_TICKS))
+    yield fleets
+    for fleet in fleets:
+        fleet.close()
+
+
+class TestGraphWindowParity:
+    def test_checkpoint_round_trips_the_layout(self, graph_fleets, city):
+        for fleet in graph_fleets:
+            layout = fleet.features.layout
+            assert layout.num_segments == len(city)
+            assert layout.k == 2
+
+    def test_predict_many_bitwise_identical_across_layouts(self, city, graph_fleets):
+        single, two, four = graph_fleets
+        query = boundary_query(city)
+        reference = single.predict_many(query)
+        assert two.predict_many(query) == reference
+        assert four.predict_many(query) == reference
+        assert [f.segment_id for f in reference] == query
+        # A graph layout has no corridor-edge exclusion: with every
+        # stream warm, *all* answers come from the model.
+        assert {f.source for f in reference} == {"model"}
+
+    def test_parity_survives_stream_advance(self, city, graph_fleets, city_series):
+        for fleet in graph_fleets:
+            replay_ticks(fleet, city_series, range(WARM_TICKS, WARM_TICKS + 2))
+        single, two, four = graph_fleets
+        query = boundary_query(city)
+        reference = single.predict_many(query, use_cache=False)
+        assert two.predict_many(query, use_cache=False) == reference
+        assert four.predict_many(query, use_cache=False) == reference

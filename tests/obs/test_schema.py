@@ -146,6 +146,24 @@ class TestValidateEvent:
                 congested_share=0.066,
                 spillback_onsets=137,
             ),
+            "network_train": envelope(
+                "network_train",
+                model="APOTS_F",
+                targets=4,
+                windows=1104,
+                k=2,
+                duration_s=1.7,
+                fingerprint="aadb6c38319926459f242de0",
+            ),
+            "network_stress": envelope(
+                "network_stress",
+                model="APOTS_F",
+                phase="cascade",
+                samples=132,
+                baseline_mae=5.9,
+                stressed_mae=9.7,
+                degradation=1.64,
+            ),
             "mlops_trigger": envelope(
                 "mlops_trigger", monitor="error", reason="mae ratio 2.03", step=410, seed=7
             ),

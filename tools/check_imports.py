@@ -215,6 +215,18 @@ RESTRICTED_IMPORTERS: dict[str, tuple[str, ...]] = {
     # plain-data shard starts — never its types — so the engine can
     # evolve without touching the deployable path.
     "repro.network": ("repro.network", "repro.experiments"),
+    # Graph-neighbourhood windows: built by the data layer, persisted by
+    # the zoo, parameterised by the network engine and consumed by the
+    # experiment harness.  The serving stack and the fleet stay
+    # layout-agnostic by design — they duck-type `features.layout` off
+    # checkpoints (see SegmentStateStore / ForecastFleet) instead of
+    # importing the module, so the server image needs no graph code.
+    "repro.data.graph_features": (
+        "repro.data",
+        "repro.core.zoo",
+        "repro.network",
+        "repro.experiments",
+    ),
 }
 
 

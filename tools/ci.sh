@@ -13,4 +13,5 @@ PYTHONPATH=src python tools/parallel_smoke.py
 PYTHONPATH=src python tools/fleet_smoke.py
 PYTHONPATH=src python tools/mlops_smoke.py
 PYTHONPATH=src python tools/network_smoke.py
+PYTHONPATH=src python tools/network_train_smoke.py
 PYTHONPATH=src python -m pytest -x -q "$@"
